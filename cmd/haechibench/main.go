@@ -1,0 +1,115 @@
+// Command haechibench regenerates the paper's evaluation tables and
+// figures (Section III) on the simulated testbed.
+//
+// Usage:
+//
+//	haechibench -experiment fig9           # one experiment (see -list)
+//	haechibench -all                       # every experiment in order
+//	haechibench -all -paper                # full-scale, paper-length runs
+//	haechibench -experiment fig12 -scale 5 -periods 10
+//
+// Experiment ids accept both figure names (fig6..fig18) and the paper's
+// experiment numbering (1a, 1b, 1c, 2a, 2b, 2c, 3, 4over, 4under).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/haechi-qos/haechi/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("haechibench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "experiment id to run (see -list)")
+		all        = fs.Bool("all", false, "run every experiment")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		paper      = fs.Bool("paper", false, "paper dimensions: full scale, 30+30 periods (slow)")
+		scale      = fs.Float64("scale", 0, "fabric scale divisor (default 10; 1 = full scale)")
+		warmup     = fs.Int("warmup", 0, "warm-up periods (default 2; paper uses 30)")
+		periods    = fs.Int("periods", 0, "measured periods (default 5; paper uses 30)")
+		clients    = fs.Int("clients", 0, "client nodes (default 10)")
+		records    = fs.Int("records", 0, "records populated in the KV store (default 4096)")
+		seed       = fs.Int64("seed", 0, "random seed (default 42)")
+		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		fmt.Println("experiments:", strings.Join(experiments.Known(), " "))
+		fmt.Println("aliases: tablei 1a 1b 1c 2a 2b 2c 3 4over 4under fig11 fig14 fig15 fig17 fig19")
+		return 0
+	}
+
+	opts := experiments.NewDefaultOptions()
+	if *paper {
+		opts = experiments.PaperOptions()
+	}
+	if *scale != 0 {
+		opts.Scale = *scale
+	}
+	if *warmup != 0 {
+		opts.WarmupPeriods = *warmup
+	}
+	if *periods != 0 {
+		opts.MeasurePeriods = *periods
+	}
+	if *clients != 0 {
+		opts.Clients = *clients
+	}
+	if *records != 0 {
+		opts.Records = *records
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	switch {
+	case *all:
+		for _, id := range experiments.Order {
+			if err := runOne(id, opts, *csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "haechibench: %s: %v\n", id, err)
+				return 1
+			}
+		}
+		return 0
+	case *experiment != "":
+		if err := runOne(*experiment, opts, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "haechibench: %v\n", err)
+			return 1
+		}
+		return 0
+	default:
+		fmt.Fprintln(os.Stderr, "haechibench: need -experiment <id>, -all or -list")
+		fs.Usage()
+		return 2
+	}
+}
+
+func runOne(id string, opts experiments.Options, csvDir string) error {
+	start := time.Now()
+	rep, err := experiments.Run(id, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if csvDir != "" {
+		paths, err := rep.WriteCSV(csvDir)
+		if err != nil {
+			return fmt.Errorf("writing CSV: %w", err)
+		}
+		fmt.Printf("csv: %v"+"\n", paths)
+	}
+	fmt.Printf("[%s completed in %v at scale %.0f, %d+%d periods]\n\n",
+		rep.ID, time.Since(start).Round(time.Millisecond), opts.Scale, opts.WarmupPeriods, opts.MeasurePeriods)
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list exit = %d", code)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Errorf("bad-flag exit = %d, want 2", code)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-experiment", "figX"}); code != 1 {
+		t.Errorf("unknown experiment exit = %d, want 1", code)
+	}
+}
+
+func TestRunConfigExperiment(t *testing.T) {
+	if code := run([]string{"-experiment", "config", "-scale", "100", "-periods", "2", "-warmup", "1",
+		"-clients", "4", "-records", "64", "-seed", "9"}); code != 0 {
+		t.Errorf("config experiment exit = %d", code)
+	}
+}
+
+func TestRunAlias(t *testing.T) {
+	// Alias "1c" resolves to fig8; keep it tiny.
+	if code := run([]string{"-experiment", "1c", "-scale", "100", "-periods", "2", "-warmup", "1",
+		"-records", "64"}); code != 0 {
+		t.Errorf("alias experiment exit = %d", code)
+	}
+}

@@ -1,0 +1,128 @@
+// Command haechikv is an interactive demo of the Haechi-protected KV
+// store: it assembles a data node plus a set of tenants described on the
+// command line, runs the configured windows, and prints each tenant's QoS
+// attainment.
+//
+// Tenants are described as name:reservation[:limit[:demand]], e.g.
+//
+//	haechikv -scale 10 -tenants gold:40000:0:60000,silver:20000,probe:0:0:30000
+//
+// Reservations and demands are I/Os per QoS period at the chosen scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	haechi "github.com/haechi-qos/haechi"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("haechikv", flag.ContinueOnError)
+	var (
+		tenantsFlag = fs.String("tenants", "gold:30000:0:45000,silver:15000:0:30000,bronze:8000:0:20000",
+			"comma-separated tenants: name:reservation[:limit[:demand]]")
+		mode     = fs.String("mode", "haechi", "haechi | basic | bare")
+		scale    = fs.Float64("scale", 10, "fabric scale divisor (1 = full scale)")
+		warmup   = fs.Int("warmup", 2, "warm-up periods")
+		periods  = fs.Int("periods", 5, "measured periods")
+		records  = fs.Int("records", 4096, "records populated")
+		seed     = fs.Int64("seed", 1, "random seed")
+		congest  = fs.Int("congest-at", 0, "start background congestion at this measured period (0 = none)")
+		traceCap = fs.Int("trace", 0, "record and dump the last N protocol events (QoS modes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tenants, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haechikv: %v\n", err)
+		return 2
+	}
+	cfg := haechi.Config{
+		Mode:           haechi.Mode(*mode),
+		Scale:          *scale,
+		WarmupPeriods:  *warmup,
+		MeasurePeriods: *periods,
+		Records:        *records,
+		Seed:           *seed,
+		TraceEvents:    *traceCap,
+	}
+	sys, err := haechi.New(cfg, tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haechikv: %v\n", err)
+		return 1
+	}
+	if *congest > 0 {
+		if err := sys.ScheduleCongestion(*congest, 0, 4, 32); err != nil {
+			fmt.Fprintf(os.Stderr, "haechikv: %v\n", err)
+			return 1
+		}
+	}
+	cap := haechi.DefaultCapacity(*scale)
+	fmt.Fprintf(out, "capacity at scale %.0f: C_G=%.0f IOPS one-sided, C_L=%.0f per client\n\n",
+		*scale, cap.AggregateOneSided, cap.PerClientOneSided)
+	rep, err := sys.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haechikv: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(out, rep.String())
+	if *traceCap > 0 {
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, sys.TraceSummary())
+		if err := sys.DumpTrace(out); err != nil {
+			fmt.Fprintf(os.Stderr, "haechikv: dumping trace: %v"+"\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func parseTenants(s string) ([]haechi.Tenant, error) {
+	var tenants []haechi.Tenant
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("tenant %q: want name:reservation[:limit[:demand]]", item)
+		}
+		t := haechi.Tenant{Name: parts[0]}
+		vals := make([]int64, 0, 3)
+		for _, p := range parts[1:] {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: bad number %q", item, p)
+			}
+			vals = append(vals, v)
+		}
+		t.Reservation = vals[0]
+		if len(vals) > 1 {
+			t.Limit = vals[1]
+		}
+		if len(vals) > 2 {
+			t.DemandPerPeriod = uint64(vals[2])
+		} else {
+			// Default demand: 120% of the reservation (finite, so the
+			// burst pattern applies); pure best-effort tenants saturate.
+			if t.Reservation > 0 {
+				t.DemandPerPeriod = uint64(t.Reservation + t.Reservation/5)
+			}
+		}
+		tenants = append(tenants, t)
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("no tenants given")
+	}
+	return tenants, nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParseTenants(t *testing.T) {
+	tenants, err := parseTenants("gold:40000:0:60000,silver:20000, probe:0:5000:30000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("got %d tenants", len(tenants))
+	}
+	g := tenants[0]
+	if g.Name != "gold" || g.Reservation != 40000 || g.Limit != 0 || g.DemandPerPeriod != 60000 {
+		t.Errorf("gold = %+v", g)
+	}
+	s := tenants[1]
+	if s.Name != "silver" || s.Reservation != 20000 {
+		t.Errorf("silver = %+v", s)
+	}
+	// Default demand: 120% of reservation.
+	if s.DemandPerPeriod != 24000 {
+		t.Errorf("silver default demand = %d, want 24000", s.DemandPerPeriod)
+	}
+	p := tenants[2]
+	if p.Name != "probe" || p.Reservation != 0 || p.Limit != 5000 || p.DemandPerPeriod != 30000 {
+		t.Errorf("probe = %+v", p)
+	}
+}
+
+func TestParseTenantsErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"noreservation",
+		"x:abc",
+		"x:1:2:3:4",
+		",,,",
+	}
+	for _, c := range cases {
+		if _, err := parseTenants(c); err == nil {
+			t.Errorf("parseTenants(%q) accepted", c)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if code := run([]string{"-tenants", "bad"}, nil); code != 2 {
+		t.Errorf("bad tenants exit = %d, want 2", code)
+	}
+	if code := run([]string{"-bogus-flag"}, nil); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

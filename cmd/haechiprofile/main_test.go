@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunDefaultsScaledDown(t *testing.T) {
+	if code := run([]string{"-scale", "100", "-periods", "3", "-clients", "4"}); code != 0 {
+		t.Errorf("profile run exit = %d", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-zap"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestRunInvalidArguments(t *testing.T) {
+	if code := run([]string{"-clients", "0"}); code != 1 {
+		t.Errorf("zero clients exit = %d, want 1", code)
+	}
+}

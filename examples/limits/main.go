@@ -1,0 +1,41 @@
+// Limits: reservations set the floor, limits set the ceiling. A runaway
+// tenant with a limit cannot exceed it no matter how much it asks for,
+// while its reservation is still honoured.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	haechi "github.com/haechi-qos/haechi"
+)
+
+func main() {
+	const scale = 10
+	sys, err := haechi.New(haechi.Config{Scale: scale}, []haechi.Tenant{
+		// A runaway tenant: reserves 20K, demands 120K, capped at 35K.
+		{Name: "runaway", Reservation: 20_000, Limit: 35_000, DemandPerPeriod: 120_000},
+		// A victim tenant that the limit protects.
+		{Name: "victim", Reservation: 30_000, DemandPerPeriod: 45_000},
+		// Best-effort filler soaking up what the limit releases.
+		{Name: "filler", Reservation: 0, DemandPerPeriod: 120_000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+
+	runaway := rep.Tenants[0]
+	for p, n := range runaway.PerPeriod {
+		if n > 35_000+100 {
+			log.Fatalf("period %d: runaway exceeded its limit: %d", p+1, n)
+		}
+	}
+	fmt.Println("the runaway tenant was held at its 35K limit every period;")
+	fmt.Println("its excess demand queued at the engine and the freed capacity")
+	fmt.Println("went to the filler tenant.")
+}

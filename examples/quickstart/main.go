@@ -1,0 +1,48 @@
+// Quickstart: three tenants with different reservations share one
+// RDMA-attached data node. Haechi guarantees each tenant's reservation
+// while best-effort capacity is competed for fairly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	haechi "github.com/haechi-qos/haechi"
+)
+
+func main() {
+	// Run at 1/10 of the paper's capacities: the data node serves
+	// ~157K one-sided 4 KB reads per second, a single client up to 40K.
+	const scale = 10
+	cap := haechi.DefaultCapacity(scale)
+	fmt.Printf("data node capacity: %.0f IOPS (per client %.0f)\n\n",
+		cap.AggregateOneSided, cap.PerClientOneSided)
+
+	sys, err := haechi.New(haechi.Config{Scale: scale}, []haechi.Tenant{
+		// gold reserves 35K IOPS and asks for 55K: the extra 20K is
+		// served best-effort from the global token pool. (A reservation
+		// of exactly C_L = 40K would leave no headroom for the client's
+		// own control verbs.)
+		{Name: "gold", Reservation: 35_000, DemandPerPeriod: 55_000},
+		// silver reserves 25K and asks for 40K.
+		{Name: "silver", Reservation: 25_000, DemandPerPeriod: 40_000},
+		// batch reserves nothing: it only ever gets leftover capacity.
+		{Name: "batch", Reservation: 0, DemandPerPeriod: 80_000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+
+	for _, t := range report.Tenants {
+		if t.Reservation > 0 && !t.MetReservation {
+			log.Fatalf("%s missed its reservation", t.Name)
+		}
+	}
+	fmt.Println("all reservations met; leftover capacity flowed to best-effort demand")
+}

@@ -1,0 +1,3 @@
+module github.com/haechi-qos/haechi
+
+go 1.22

@@ -1,0 +1,439 @@
+// Package haechi is a reproduction of "Haechi: A Token-based QoS
+// Mechanism for One-sided I/Os in RDMA based Storage System" (Liu &
+// Varman, ICDCS 2021): a work-conserving, token-based QoS layer that
+// guarantees per-tenant throughput reservations and limits for silent
+// one-sided RDMA I/O against a memory-resident key-value store.
+//
+// The package wires the full system of the paper over a deterministic
+// simulated RDMA fabric (see DESIGN.md for the substitution rationale):
+//
+//   - a data node hosting the KV store and the Haechi QoS monitor
+//     (per-period token generation, reservation pushes, global-pool
+//     monitoring, token conversion, adaptive capacity estimation), and
+//   - one node per tenant running a workload generator behind a Haechi
+//     QoS engine (token-gated admission, batched global-token claims via
+//     one-sided FETCH_ADD, silent usage reports).
+//
+// Quick start:
+//
+//	sys, err := haechi.New(haechi.Config{}, []haechi.Tenant{
+//	    {Name: "gold", Reservation: 400_000, DemandPerPeriod: 500_000},
+//	    {Name: "silver", Reservation: 200_000, DemandPerPeriod: 500_000},
+//	})
+//	...
+//	report, err := sys.Run()
+//	fmt.Println(report)
+//
+// All I/O counts are per QoS period (1 s by default), expressed at the
+// configured Scale (Scale 10 divides the fabric's rates by 10; reported
+// numbers stay in the scaled units).
+package haechi
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/haechi-qos/haechi/internal/cluster"
+	"github.com/haechi-qos/haechi/internal/kvstore"
+	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/trace"
+	"github.com/haechi-qos/haechi/internal/workload"
+)
+
+// Mode selects the QoS system variant.
+type Mode string
+
+// Modes.
+const (
+	// ModeHaechi is the full protocol (default).
+	ModeHaechi Mode = "haechi"
+	// ModeBasic disables token conversion (the paper's Basic Haechi).
+	ModeBasic Mode = "basic"
+	// ModeBare disables QoS entirely (the paper's comparison system).
+	ModeBare Mode = "bare"
+)
+
+// Pattern names a temporal request pattern.
+type Pattern string
+
+// Patterns.
+const (
+	// PatternBurst submits each period's whole demand at the period start
+	// (the paper's QoS-experiment burst).
+	PatternBurst Pattern = "burst"
+	// PatternBurst64 is the closed-loop saturation pattern (64
+	// outstanding requests).
+	PatternBurst64 Pattern = "burst64"
+	// PatternConstantRate spaces the demand evenly over the period.
+	PatternConstantRate Pattern = "constant-rate"
+)
+
+// Tenant describes one client of the storage service.
+type Tenant struct {
+	// Name labels the tenant in reports.
+	Name string
+	// Reservation is R_i: the minimum I/Os guaranteed per QoS period
+	// (ignored in ModeBare).
+	Reservation int64
+	// Limit is L_i: the maximum I/Os admitted per period (0 = none).
+	Limit int64
+	// DemandPerPeriod is how many requests the tenant issues each period;
+	// 0 means saturating demand (forces PatternBurst64).
+	DemandPerPeriod uint64
+	// Pattern is the request pattern; empty selects PatternBurst (or
+	// PatternBurst64 for saturating demand).
+	Pattern Pattern
+	// KeyDistribution selects which records are read: "zipfian"
+	// (default), "uniform", "latest" or "sequential".
+	KeyDistribution string
+	// UpdateFraction is the share of requests issued as one-sided record
+	// writes instead of reads, in [0,1] (0 = read-only, the paper's
+	// workload; 0.05 ≈ YCSB-B, 0.5 ≈ YCSB-A). Updates flow through the
+	// same token path.
+	UpdateFraction float64
+}
+
+// Config assembles a Haechi system.
+type Config struct {
+	// Mode selects haechi/basic/bare; empty means ModeHaechi.
+	Mode Mode
+	// Scale divides the paper-calibrated fabric rates (1 = full scale;
+	// 0 defaults to 10 for laptop-fast runs).
+	Scale float64
+	// WarmupPeriods and MeasurePeriods set the run windows; zero values
+	// default to 2 and 5.
+	WarmupPeriods  int
+	MeasurePeriods int
+	// Records is the KV store population (default 4096).
+	Records int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// TraceEvents, when positive, records the last N protocol events
+	// (token pushes, claims, yields, pool caps, reports, capacity
+	// updates); inspect them after Run with TraceSummary and DumpTrace.
+	TraceEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = ModeHaechi
+	}
+	if c.Scale == 0 {
+		c.Scale = 10
+	}
+	if c.WarmupPeriods == 0 {
+		c.WarmupPeriods = 2
+	}
+	if c.MeasurePeriods == 0 {
+		c.MeasurePeriods = 5
+	}
+	if c.Records == 0 {
+		c.Records = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// System is an assembled cluster ready to run.
+type System struct {
+	cfg     Config
+	names   []string
+	cluster *cluster.Cluster
+	rec     *trace.Recorder
+	ran     bool
+}
+
+// New builds a system: one data node plus one node per tenant. In QoS
+// modes each tenant passes admission control (aggregate and local
+// capacity constraints); a violation fails construction.
+func New(cfg Config, tenants []Tenant) (*System, error) {
+	cfg = cfg.withDefaults()
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("haechi: at least one tenant required")
+	}
+	ccfg := cluster.NewDefaultConfig()
+	switch cfg.Mode {
+	case ModeHaechi:
+		ccfg.Mode = cluster.Haechi
+	case ModeBasic:
+		ccfg.Mode = cluster.BasicHaechi
+	case ModeBare:
+		ccfg.Mode = cluster.Bare
+	default:
+		return nil, fmt.Errorf("haechi: unknown mode %q", cfg.Mode)
+	}
+	ccfg.Scale = cfg.Scale
+	ccfg.Seed = cfg.Seed
+	storeCap := 1
+	for storeCap < cfg.Records {
+		storeCap <<= 1
+	}
+	ccfg.Store = kvstore.Options{Capacity: storeCap, RecordSize: 4096}
+	ccfg.Records = cfg.Records
+
+	var names []string
+	var specs []cluster.ClientSpec
+	for i, t := range tenants {
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("tenant-%d", i+1)
+		}
+		names = append(names, name)
+		spec, err := tenantSpec(t, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("haechi: tenant %q: %w", name, err)
+		}
+		specs = append(specs, spec)
+	}
+	cl, err := cluster.New(ccfg, specs)
+	if err != nil {
+		return nil, fmt.Errorf("haechi: %w", err)
+	}
+	sys := &System{cfg: cfg, names: names, cluster: cl}
+	if cfg.TraceEvents > 0 {
+		if cfg.Mode == ModeBare {
+			return nil, fmt.Errorf("haechi: tracing requires a QoS mode")
+		}
+		rec, err := cl.EnableTrace(cfg.TraceEvents)
+		if err != nil {
+			return nil, fmt.Errorf("haechi: %w", err)
+		}
+		sys.rec = rec
+	}
+	return sys, nil
+}
+
+// TraceSummary returns per-kind counts of the recorded protocol events
+// ("trace: empty" when tracing is off or nothing ran yet).
+func (s *System) TraceSummary() string {
+	return s.rec.Summary()
+}
+
+// DumpTrace writes the retained protocol events to w, one per line.
+// A no-op when tracing is off.
+func (s *System) DumpTrace(w io.Writer) error {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Dump(w)
+}
+
+func tenantSpec(t Tenant, cfg Config) (cluster.ClientSpec, error) {
+	spec := cluster.ClientSpec{
+		Reservation:    t.Reservation,
+		Limit:          t.Limit,
+		UpdateFraction: t.UpdateFraction,
+	}
+	if t.Reservation < 0 || t.Limit < 0 {
+		return spec, fmt.Errorf("negative reservation or limit")
+	}
+	if t.UpdateFraction < 0 || t.UpdateFraction > 1 {
+		return spec, fmt.Errorf("update fraction %v outside [0,1]", t.UpdateFraction)
+	}
+	if t.DemandPerPeriod == 0 {
+		spec.Demand = cluster.UnlimitedDemand()
+	} else {
+		spec.Demand = cluster.ConstantDemand(t.DemandPerPeriod)
+	}
+	pattern := t.Pattern
+	if pattern == "" {
+		if t.DemandPerPeriod == 0 {
+			pattern = PatternBurst64
+		} else {
+			pattern = PatternBurst
+		}
+	}
+	switch pattern {
+	case PatternBurst:
+		if t.DemandPerPeriod == 0 {
+			return spec, fmt.Errorf("saturating demand requires %q or %q", PatternBurst64, PatternConstantRate)
+		}
+		spec.Pattern = workload.Burst{}
+	case PatternBurst64:
+		spec.Pattern = workload.Burst{Window: 64}
+	case PatternConstantRate:
+		if t.DemandPerPeriod == 0 {
+			return spec, fmt.Errorf("constant-rate requires a finite demand")
+		}
+		spec.Pattern = workload.ConstantRate{}
+	default:
+		return spec, fmt.Errorf("unknown pattern %q", pattern)
+	}
+	if t.KeyDistribution != "" {
+		keys, err := workload.NewChooser(t.KeyDistribution, uint64(cfg.Records))
+		if err != nil {
+			return spec, err
+		}
+		spec.Keys = keys
+	}
+	return spec, nil
+}
+
+// ScheduleCongestion injects background one-sided load against the data
+// node between the given periods (1-based, relative to the start of the
+// measure window; stopPeriod 0 = never stops). jobs closed-loop streams of
+// the given window size are started. Must be called before Run.
+func (s *System) ScheduleCongestion(startPeriod, stopPeriod, jobs, window int) error {
+	if s.ran {
+		return fmt.Errorf("haechi: system already ran")
+	}
+	if jobs <= 0 || window <= 0 {
+		return fmt.Errorf("haechi: jobs and window must be positive")
+	}
+	T := s.cluster.Config().Params.Period
+	base := sim.Time(s.cfg.WarmupPeriods) * T
+	for j := 0; j < jobs; j++ {
+		job, err := s.cluster.AddBackgroundJob(fmt.Sprintf("congestion-%d-%d-%d", startPeriod, stopPeriod, j), window)
+		if err != nil {
+			return err
+		}
+		s.cluster.At(base+sim.Time(startPeriod-1)*T, job.Start)
+		if stopPeriod > 0 {
+			s.cluster.At(base+sim.Time(stopPeriod-1)*T, job.Stop)
+		}
+	}
+	return nil
+}
+
+// Run executes the configured warm-up and measure windows and returns the
+// report. Run consumes the system.
+func (s *System) Run() (*Report, error) {
+	if s.ran {
+		return nil, fmt.Errorf("haechi: system already ran")
+	}
+	s.ran = true
+	res, err := s.cluster.Run(s.cfg.WarmupPeriods, s.cfg.MeasurePeriods)
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(s, res), nil
+}
+
+// Latency summarizes request latency (submission to completion, including
+// any token-wait queueing at the engine).
+type Latency struct {
+	Mean time.Duration
+	P50  time.Duration
+	P99  time.Duration
+	P999 time.Duration
+	Max  time.Duration
+}
+
+// TenantResult is one tenant's measured outcome.
+type TenantResult struct {
+	Name        string
+	Reservation int64
+	// PerPeriod lists completed I/Os in each measured period.
+	PerPeriod []uint64
+	// Total, MinPeriod and MeanPeriod summarize PerPeriod.
+	Total      uint64
+	MinPeriod  uint64
+	MeanPeriod float64
+	// MetReservation reports whether every measured period reached the
+	// reservation.
+	MetReservation bool
+	// Latency is the tenant's request-latency summary.
+	Latency Latency
+}
+
+// Report is a run's outcome.
+type Report struct {
+	Mode            Mode
+	MeasuredPeriods int
+	Tenants         []TenantResult
+	// TotalCompleted and ThroughputPerPeriod aggregate all tenants.
+	TotalCompleted      uint64
+	ThroughputPerPeriod float64
+	// QoSOverheadFraction estimates the share of data-node NIC time spent
+	// on token management (QoS modes only).
+	QoSOverheadFraction float64
+	// EstimatedCapacity is the monitor's final per-period capacity
+	// estimate (QoS modes only).
+	EstimatedCapacity int64
+}
+
+func buildReport(s *System, res *cluster.Results) *Report {
+	rep := &Report{
+		Mode:                s.cfg.Mode,
+		MeasuredPeriods:     res.MeasuredPeriods,
+		TotalCompleted:      res.TotalCompleted,
+		ThroughputPerPeriod: res.ThroughputPerPeriod,
+		QoSOverheadFraction: res.Overhead.NICFraction,
+	}
+	if mon := s.cluster.Monitor(); mon != nil {
+		rep.EstimatedCapacity = mon.Estimator().Current()
+	}
+	for i, cr := range res.Clients {
+		rep.Tenants = append(rep.Tenants, TenantResult{
+			Name:           s.names[i],
+			Reservation:    cr.Reservation,
+			PerPeriod:      cr.Periods,
+			Total:          cr.Total,
+			MinPeriod:      cr.MinPeriod,
+			MeanPeriod:     cr.MeanPeriod,
+			MetReservation: cr.MetReservation,
+			Latency: Latency{
+				Mean: toDuration(cr.Latency.Mean),
+				P50:  toDuration(cr.Latency.P50),
+				P99:  toDuration(cr.Latency.P99),
+				P999: toDuration(cr.Latency.P999),
+				Max:  toDuration(cr.Latency.Max),
+			},
+		})
+	}
+	return rep
+}
+
+func toDuration(t sim.Time) time.Duration { return time.Duration(int64(t)) }
+
+// String renders the report as a table.
+func (r *Report) String() string {
+	out := fmt.Sprintf("mode=%s periods=%d throughput=%.0f/period", r.Mode, r.MeasuredPeriods, r.ThroughputPerPeriod)
+	if r.EstimatedCapacity > 0 {
+		out += fmt.Sprintf(" capacity≈%d", r.EstimatedCapacity)
+	}
+	out += "\n"
+	for _, t := range r.Tenants {
+		flag := ""
+		if t.Reservation > 0 {
+			if t.MetReservation {
+				flag = "  [reservation met]"
+			} else {
+				flag = "  [RESERVATION MISSED]"
+			}
+		}
+		out += fmt.Sprintf("  %-12s R=%-9d min=%-9d mean=%-11.0f p99=%v%s\n",
+			t.Name, t.Reservation, t.MinPeriod, t.MeanPeriod, t.Latency.P99, flag)
+	}
+	if r.QoSOverheadFraction > 0 {
+		out += fmt.Sprintf("  qos overhead: %.3f%% of data-node NIC time\n", 100*r.QoSOverheadFraction)
+	}
+	return out
+}
+
+// Capacity describes the simulated testbed's calibrated limits at a given
+// scale, in I/Os per second.
+type Capacity struct {
+	// PerClientOneSided is C_L.
+	PerClientOneSided float64
+	// AggregateOneSided is C_G.
+	AggregateOneSided float64
+	// AggregateTwoSided is the server-CPU-bound RPC rate.
+	AggregateTwoSided float64
+}
+
+// DefaultCapacity returns the paper-calibrated capacities divided by
+// scale, for sizing reservations.
+func DefaultCapacity(scale float64) Capacity {
+	if scale <= 0 {
+		scale = 10
+	}
+	return Capacity{
+		PerClientOneSided: 400e3 / scale,
+		AggregateOneSided: 1570e3 / scale,
+		AggregateTwoSided: 430e3 / scale,
+	}
+}

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/haechi-qos/haechi/internal/core"
+	"github.com/haechi-qos/haechi/internal/kvstore"
+	"github.com/haechi-qos/haechi/internal/metrics"
+	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/trace"
+	"github.com/haechi-qos/haechi/internal/workload"
+)
+
+// Client is one tenant's runtime state in the cluster.
+type Client struct {
+	Spec   ClientSpec
+	Node   *rdma.Node
+	KV     *kvstore.Client
+	Gen    *workload.Generator
+	Engine *core.Engine // nil in Bare mode
+
+	// Periods logs completions per period inside the measure window.
+	Periods metrics.PeriodLog
+	// Timeline records (period start time, completions) for every period
+	// from t=0, for the paper's timeline figures.
+	Timeline metrics.Series
+
+	measuring  bool
+	skipNext   bool
+	lastPeriod int
+}
+
+// Cluster is the assembled testbed.
+type Cluster struct {
+	cfg     Config
+	kernel  *sim.Kernel
+	fabric  *rdma.Fabric
+	server  *rdma.Node
+	store   *kvstore.Store
+	monitor *core.Monitor // nil in Bare mode
+	clients []*Client
+
+	bareTicker  *sim.Ticker
+	barePeriod  int
+	bgJobs      map[string]*rdma.BackgroundJob
+	serverStat0 rdma.Stats
+}
+
+// New assembles a cluster for the given tenant specs. In QoS modes every
+// client passes admission control before its engine is created.
+func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
+	cfg, err := cfg.ApplyScale()
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: at least one client spec required")
+	}
+	k := sim.New(cfg.Seed)
+	fabric, err := rdma.NewFabric(k, cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	server, err := fabric.AddServer("datanode")
+	if err != nil {
+		return nil, err
+	}
+	serverDisp := rdma.NewDispatcher(server)
+	store, err := kvstore.NewStore(server, serverDisp, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Records > cfg.Store.Capacity {
+		return nil, fmt.Errorf("cluster: %d records exceed store capacity %d", cfg.Records, cfg.Store.Capacity)
+	}
+	if err := store.Populate(cfg.Records, recordValue); err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:    cfg,
+		kernel: k,
+		fabric: fabric,
+		server: server,
+		store:  store,
+		bgJobs: make(map[string]*rdma.BackgroundJob),
+	}
+
+	if cfg.Mode != Bare {
+		est, err := core.NewCapacityEstimator(cfg.Params, cfg.ProfiledCapacity, cfg.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		adm, err := core.NewAdmissionController(cfg.ProfiledCapacity, cfg.LocalCapacityPerPeriod())
+		if err != nil {
+			return nil, err
+		}
+		var opts []core.MonitorOption
+		if cfg.Mode == BasicHaechi {
+			opts = append(opts, core.WithoutConversion())
+		}
+		if cfg.AlertAfter > 0 {
+			opts = append(opts, core.WithAlertAfter(cfg.AlertAfter))
+		}
+		c.monitor, err = core.NewMonitor(cfg.Params, server, est, adm, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i, spec := range specs {
+		if err := c.addClient(i, spec); err != nil {
+			return nil, fmt.Errorf("cluster: client %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// recordValue deterministically fills a record from its key.
+func recordValue(key uint64) []byte {
+	v := make([]byte, rdma.DataIOSize)
+	for i := 0; i < 8; i++ {
+		v[i] = byte(key >> (8 * i))
+	}
+	return v
+}
+
+func (c *Cluster) addClient(i int, spec ClientSpec) error {
+	node, err := c.fabric.AddClient(fmt.Sprintf("client-%02d", i))
+	if err != nil {
+		return err
+	}
+	disp := rdma.NewDispatcher(node)
+	kv, err := kvstore.Attach(node, disp, c.store)
+	if err != nil {
+		return err
+	}
+	kv.PrimeCache(c.cfg.Records) // steady-state location cache (post warm-up)
+
+	rt := &Client{Spec: spec, Node: node, KV: kv}
+	rt.Timeline.Name = fmt.Sprintf("client-%02d", i)
+
+	if spec.Keys == nil {
+		n := uint64(c.cfg.Records)
+		if n == 0 {
+			n = 1
+		}
+		z, err := workload.NewScrambledZipfian(n)
+		if err != nil {
+			return err
+		}
+		rt.Spec.Keys = z
+	}
+	if rt.Spec.Demand == nil {
+		rt.Spec.Demand = UnlimitedDemand()
+	}
+	if rt.Spec.Pattern == nil {
+		// Finite demand defaults to the paper's QoS-experiment form
+		// (whole demand at period start); unlimited demand uses the
+		// closed-loop window of the profiling experiments — posting an
+		// unbounded demand up front is meaningless.
+		if rt.Spec.Demand(1) >= workload.InfiniteDemand {
+			rt.Spec.Pattern = workload.Burst{Window: 64}
+		} else {
+			rt.Spec.Pattern = workload.Burst{}
+		}
+	}
+	if _, isPostAll := rt.Spec.Pattern.(workload.Burst); isPostAll &&
+		rt.Spec.Pattern.(workload.Burst).Window <= 0 && rt.Spec.Demand(1) >= workload.InfiniteDemand {
+		return fmt.Errorf("unlimited demand cannot use the post-all burst pattern; set Burst{Window: n}")
+	}
+
+	// The data path: one-sided GET (or two-sided RPC for the comparison
+	// curves), with a fraction of one-sided record WRITEs when the spec
+	// requests a YCSB-style update mix. Errors cannot occur for primed
+	// in-range keys; surface any as a completion so closed loops never
+	// hang.
+	rng := rand.New(rand.NewSource(c.cfg.Seed ^ int64(i)<<17))
+	updateValue := make([]byte, c.cfg.Store.RecordSize)
+	sender := func(key uint64, done func()) {
+		if c.cfg.TwoSided {
+			_ = kv.GetTwoSided(key, func([]byte, error) { done() })
+			return
+		}
+		if spec.UpdateFraction > 0 && rng.Float64() < spec.UpdateFraction {
+			updateValue[0] = byte(key)
+			_ = kv.Update(key, updateValue, func(error) { done() })
+			return
+		}
+		_ = kv.Get(key, func([]byte, error) { done() })
+	}
+
+	var submit workload.Submit
+	if c.cfg.Mode == Bare {
+		submit = sender
+	} else {
+		grant, err := c.monitor.Admit(node, spec.Reservation)
+		if err != nil {
+			return err
+		}
+		engine, err := core.NewEngine(c.cfg.Params, grant, node, disp, spec.Limit, core.IOSender(sender))
+		if err != nil {
+			return err
+		}
+		rt.Engine = engine
+		submit = engine.Request
+	}
+
+	gen, err := workload.NewGenerator(c.kernel, c.cfg.Seed+int64(i)*7919, rt.Spec.Keys, rt.Spec.Pattern, c.cfg.Params.Period, submit)
+	if err != nil {
+		return err
+	}
+	rt.Gen = gen
+
+	onPeriod := func(period int) {
+		c.harvest(rt, period)
+		rt.Gen.BeginPeriod(rt.Spec.Demand(period))
+	}
+	if c.cfg.Mode == Bare {
+		rt.lastPeriod = 0 // driven by the cluster's bare ticker
+	} else {
+		rt.Engine.OnPeriodStart = onPeriod
+	}
+	c.clients = append(c.clients, rt)
+	return nil
+}
+
+// harvest folds the previous period's completions into the client's logs.
+func (c *Cluster) harvest(rt *Client, period int) {
+	if period <= 1 {
+		rt.lastPeriod = period
+		return
+	}
+	done := rt.Gen.TakePeriodCompleted()
+	rt.Timeline.Add(c.kernel.Now(), float64(done))
+	if rt.measuring {
+		if rt.skipNext {
+			rt.skipNext = false
+		} else {
+			rt.Periods.Observe(done)
+		}
+	}
+	rt.lastPeriod = period
+}
+
+// Kernel exposes the simulation kernel (for scheduling experiment events
+// such as congestion onset).
+func (c *Cluster) Kernel() *sim.Kernel { return c.kernel }
+
+// Fabric exposes the fabric.
+func (c *Cluster) Fabric() *rdma.Fabric { return c.fabric }
+
+// Server returns the data node.
+func (c *Cluster) Server() *rdma.Node { return c.server }
+
+// Store returns the KV store.
+func (c *Cluster) Store() *kvstore.Store { return c.store }
+
+// Monitor returns the QoS monitor (nil in Bare mode).
+func (c *Cluster) Monitor() *core.Monitor { return c.monitor }
+
+// Clients returns the tenants.
+func (c *Cluster) Clients() []*Client { return c.clients }
+
+// Config returns the normalized configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// AddBackgroundJob registers a named closed-loop background load against
+// the data node (stopped; schedule Start/Stop with At).
+func (c *Cluster) AddBackgroundJob(name string, window int) (*rdma.BackgroundJob, error) {
+	if _, ok := c.bgJobs[name]; ok {
+		return nil, fmt.Errorf("cluster: background job %q exists", name)
+	}
+	job, err := rdma.NewBackgroundJob(c.fabric, name, c.server, window)
+	if err != nil {
+		return nil, err
+	}
+	c.bgJobs[name] = job
+	return job, nil
+}
+
+// At schedules fn at absolute virtual time t (e.g. congestion onset).
+func (c *Cluster) At(t sim.Time, fn func()) { c.kernel.At(t, fn) }
+
+// EnableTrace attaches a shared protocol-event recorder (ring of the
+// given capacity) to the monitor and every engine, and returns it. QoS
+// modes only.
+func (c *Cluster) EnableTrace(capacity int) (*trace.Recorder, error) {
+	if c.monitor == nil {
+		return nil, fmt.Errorf("cluster: tracing requires a QoS mode")
+	}
+	rec, err := trace.NewRecorder(capacity)
+	if err != nil {
+		return nil, err
+	}
+	c.monitor.Trace = rec
+	for _, rt := range c.clients {
+		if rt.Engine != nil {
+			rt.Engine.Trace = rec
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,647 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/haechi-qos/haechi/internal/core"
+	"github.com/haechi-qos/haechi/internal/kvstore"
+	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/trace"
+	"github.com/haechi-qos/haechi/internal/workload"
+)
+
+// testConfig returns a 100x-scaled testbed (server ≈ 15.7 KIOPS) with a
+// small store, fast to simulate while preserving the paper's ratios.
+func testConfig(mode Mode) Config {
+	cfg := NewDefaultConfig()
+	cfg.Mode = mode
+	cfg.Scale = 100
+	cfg.Store = kvstore.Options{Capacity: 1 << 10, RecordSize: 4096}
+	cfg.Records = 512
+	cfg.Fabric.Jitter = 0.005
+	cfg.Sigma = 400
+	return cfg
+}
+
+const scaledServerC = 15_700
+
+func TestApplyScaleDefaults(t *testing.T) {
+	cfg, err := (Config{}).ApplyScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != Haechi || cfg.Scale != 1 {
+		t.Errorf("defaults not applied: %+v", cfg.Mode)
+	}
+	if cfg.ProfiledCapacity != 1_570_000 {
+		t.Errorf("derived profiled capacity = %d, want 1570000", cfg.ProfiledCapacity)
+	}
+	if cfg.Sigma != 15_700 {
+		t.Errorf("derived sigma = %v", cfg.Sigma)
+	}
+	if cfg.Records != cfg.Store.Capacity/2 {
+		t.Errorf("derived records = %d", cfg.Records)
+	}
+}
+
+func TestApplyScaleRescalesControlPlane(t *testing.T) {
+	cfg := NewDefaultConfig()
+	cfg.Scale = 100
+	scaled, err := cfg.ApplyScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Fabric.ServerOneSidedRate != 15_700 {
+		t.Errorf("server rate = %v", scaled.Fabric.ServerOneSidedRate)
+	}
+	// Intervals stretched (capped at Period/10) and batch shrunk.
+	if scaled.Params.Tick != scaled.Params.Period/10 {
+		t.Errorf("tick = %v, want period/10 cap", scaled.Params.Tick)
+	}
+	if scaled.Params.Batch != 10 {
+		t.Errorf("batch = %d, want 10", scaled.Params.Batch)
+	}
+	if scaled.ProfiledCapacity != 15_700 {
+		t.Errorf("profiled = %d", scaled.ProfiledCapacity)
+	}
+}
+
+func TestApplyScaleValidation(t *testing.T) {
+	cfg := NewDefaultConfig()
+	cfg.Scale = 0.5
+	if _, err := cfg.ApplyScale(); err == nil {
+		t.Error("fractional scale accepted")
+	}
+	cfg = NewDefaultConfig()
+	cfg.TwoSided = true // with Haechi mode
+	if _, err := cfg.ApplyScale(); err == nil {
+		t.Error("two-sided QoS accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testConfig(Haechi), nil); err == nil {
+		t.Error("empty specs accepted")
+	}
+	cfg := testConfig(Haechi)
+	cfg.Records = 1 << 20
+	if _, err := New(cfg, []ClientSpec{{Reservation: 10}}); err == nil {
+		t.Error("records beyond capacity accepted")
+	}
+	// Admission failure surfaces from New.
+	cfg = testConfig(Haechi)
+	if _, err := New(cfg, []ClientSpec{{Reservation: 1 << 40}}); err == nil {
+		t.Error("over-reservation accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Bare.String() != "bare" || Haechi.String() != "haechi" || BasicHaechi.String() != "basic-haechi" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+// TestBareSaturation reproduces Fig. 7's one-sided curve at test scale:
+// 10 saturating clients reach ≈ C_G with a fair split.
+func TestBareSaturation(t *testing.T) {
+	specs := make([]ClientSpec, 10)
+	for i := range specs {
+		specs[i] = ClientSpec{Pattern: workload.Burst{Window: 64}}
+	}
+	cl, err := New(testConfig(Bare), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputPerPeriod < 0.95*scaledServerC || res.ThroughputPerPeriod > 1.05*scaledServerC {
+		t.Errorf("bare throughput %.0f/period, want ≈%d", res.ThroughputPerPeriod, scaledServerC)
+	}
+	for _, cr := range res.Clients {
+		if cr.MeanPeriod < 0.85*scaledServerC/10 || cr.MeanPeriod > 1.15*scaledServerC/10 {
+			t.Errorf("client %d mean %.0f, want ≈ fair share %d", cr.Index, cr.MeanPeriod, scaledServerC/10)
+		}
+	}
+	if len(res.Clients[0].Periods) != 3 {
+		t.Errorf("measured %d periods, want 3", len(res.Clients[0].Periods))
+	}
+}
+
+// TestBareSingleClient reproduces Fig. 6 at test scale: one client caps at
+// C_L ≈ 4000/period one-sided.
+func TestBareSingleClient(t *testing.T) {
+	cl, err := New(testConfig(Bare), []ClientSpec{{Pattern: workload.Burst{Window: 64}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputPerPeriod < 3800 || res.ThroughputPerPeriod > 4100 {
+		t.Errorf("single-client throughput %.0f, want ≈4000 (C_L)", res.ThroughputPerPeriod)
+	}
+}
+
+// TestBareTwoSided reproduces the two-sided curves: single client ≈ 3200,
+// four clients ≈ 4300 (server CPU bound).
+func TestBareTwoSided(t *testing.T) {
+	run := func(n int) float64 {
+		cfg := testConfig(Bare)
+		cfg.TwoSided = true
+		specs := make([]ClientSpec, n)
+		for i := range specs {
+			specs[i] = ClientSpec{Pattern: workload.Burst{Window: 64}}
+		}
+		cl, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ThroughputPerPeriod
+	}
+	one := run(1)
+	four := run(4)
+	if one < 2900 || one > 3500 {
+		t.Errorf("1-client two-sided %.0f, want ≈3200", one)
+	}
+	if four < 4100 || four > 4500 {
+		t.Errorf("4-client two-sided %.0f, want ≈4300", four)
+	}
+}
+
+// TestHaechiMeetsReservations: the end-to-end stack (KV store + engines +
+// monitor) meets uniform reservations with <1% throughput loss vs bare.
+func TestHaechiMeetsReservations(t *testing.T) {
+	reserved := int64(0.9 * scaledServerC / 10) // 1413 per client
+	pool := uint64(scaledServerC) - 10*uint64(reserved)
+	specs := make([]ClientSpec, 10)
+	for i := range specs {
+		specs[i] = ClientSpec{
+			Reservation: reserved,
+			// The paper's Exp 2A demand: reservation plus the whole
+			// initial global pool, per client.
+			Demand: ConstantDemand(uint64(reserved) + pool),
+		}
+	}
+	cl, err := New(testConfig(Haechi), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range res.Clients {
+		if float64(cr.MinPeriod) < 0.98*float64(reserved) {
+			t.Errorf("client %d min period %d < reservation %d", cr.Index, cr.MinPeriod, reserved)
+		}
+	}
+	if res.ThroughputPerPeriod < 0.92*scaledServerC {
+		t.Errorf("haechi throughput %.0f, want ≥92%% of %d", res.ThroughputPerPeriod, scaledServerC)
+	}
+	if res.Overhead.NICFraction > 0.05 {
+		t.Errorf("QoS overhead %.2f%% of NIC time; want small", 100*res.Overhead.NICFraction)
+	}
+	if res.Overhead.DataReads == 0 {
+		t.Error("no data reads counted")
+	}
+}
+
+// TestHaechiZipfVsBare (Experiment 2A shape): under Zipf reservations the
+// bare system starves high-reservation clients; Haechi fixes them.
+func TestHaechiZipfVsBare(t *testing.T) {
+	res, err := workload.ZipfGroupSplit(uint64(0.9*scaledServerC), 10, 5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := uint64(scaledServerC) - workload.Sum(res)
+	demand := func(i int) DemandFn { return ConstantDemand(res[i] + pool) }
+
+	bareSpecs := make([]ClientSpec, 10)
+	qosSpecs := make([]ClientSpec, 10)
+	for i := range bareSpecs {
+		bareSpecs[i] = ClientSpec{Demand: demand(i)}
+		qosSpecs[i] = ClientSpec{Reservation: int64(res[i]), Demand: demand(i)}
+	}
+
+	bareCl, err := New(testConfig(Bare), bareSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareRes, err := bareCl.Run(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bare system is insensitive to reservations: C1 (highest) misses.
+	if float64(bareRes.Clients[0].MeanPeriod) >= float64(res[0]) {
+		t.Errorf("bare C1 unexpectedly met its would-be reservation: %.0f >= %d",
+			bareRes.Clients[0].MeanPeriod, res[0])
+	}
+
+	qosCl, err := New(testConfig(Haechi), qosSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qosRes, err := qosCl.Run(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fairShare := float64(scaledServerC) / 10
+	for _, cr := range qosRes.Clients {
+		if cr.Index < 2 {
+			// The top Zipf group at 90% reserved sits at the local-
+			// capacity feasibility edge under burst (see EXPERIMENTS.md):
+			// it reaches ~90% of R, still far above the bare fair share.
+			if float64(cr.MinPeriod) < 0.87*float64(cr.Reservation) {
+				t.Errorf("haechi client %d min %d below feasibility-edge band of reservation %d",
+					cr.Index, cr.MinPeriod, cr.Reservation)
+			}
+			if cr.MeanPeriod < 1.3*fairShare {
+				t.Errorf("haechi client %d mean %.0f not differentiated above fair share %.0f",
+					cr.Index, cr.MeanPeriod, fairShare)
+			}
+			continue
+		}
+		if float64(cr.MinPeriod) < 0.98*float64(cr.Reservation) {
+			t.Errorf("haechi client %d min %d < reservation %d", cr.Index, cr.MinPeriod, cr.Reservation)
+		}
+	}
+}
+
+// TestConversionVsBasic (Experiment 2B shape): when C1, C2 under-demand,
+// full Haechi redistributes their tokens; Basic Haechi wastes them.
+func TestConversionVsBasic(t *testing.T) {
+	res, err := workload.ZipfGroupSplit(uint64(0.9*scaledServerC), 10, 5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(mode Mode) *Results {
+		specs := make([]ClientSpec, 10)
+		for i := range specs {
+			d := ConstantDemand(res[i] + 1000)
+			if i < 2 {
+				d = ConstantDemand(res[i] / 3) // insufficient demand
+			}
+			specs[i] = ClientSpec{Reservation: int64(res[i]), Demand: d}
+		}
+		cl, err := New(testConfig(mode), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := cl.Run(1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	full := build(Haechi)
+	basic := build(BasicHaechi)
+	// Work conservation: conversion recovers most of C1/C2's unused
+	// reservation for the others (Fig. 11 shape).
+	if full.ThroughputPerPeriod <= 1.04*basic.ThroughputPerPeriod {
+		t.Errorf("conversion gain too small: full=%.0f basic=%.0f",
+			full.ThroughputPerPeriod, basic.ThroughputPerPeriod)
+	}
+	// Converted tokens are competed for; individual shares vary
+	// period-to-period, but broadly the hungry clients gain (Fig. 10) and
+	// none does worse than its reservation.
+	gainers := 0
+	for i := 2; i < 10; i++ {
+		if full.Clients[i].Total > basic.Clients[i].Total {
+			gainers++
+		}
+		if int64(full.Clients[i].MinPeriod) < int64(float64(res[i])*0.98) {
+			t.Errorf("client %d fell below reservation under conversion: %d < %d",
+				i, full.Clients[i].MinPeriod, res[i])
+		}
+		if float64(full.Clients[i].Total) < 0.95*float64(basic.Clients[i].Total) {
+			t.Errorf("client %d lost throughput to conversion: %d vs %d",
+				i, full.Clients[i].Total, basic.Clients[i].Total)
+		}
+	}
+	if gainers < 6 {
+		t.Errorf("only %d of 8 hungry clients gained from conversion", gainers)
+	}
+}
+
+// TestLatencyBurstVsConstantRate (Fig. 15 shape): constant-rate requests
+// see far lower mean and tail latency than burst.
+func TestLatencyBurstVsConstantRate(t *testing.T) {
+	res := int64(0.8 * scaledServerC / 10)
+	run := func(p workload.Pattern) *Results {
+		specs := make([]ClientSpec, 10)
+		for i := range specs {
+			specs[i] = ClientSpec{
+				Reservation: res,
+				Demand:      ConstantDemand(uint64(res)),
+				Pattern:     p,
+			}
+		}
+		cl, err := New(testConfig(Haechi), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := cl.Run(1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	burst := run(workload.Burst{})
+	cr := run(workload.ConstantRate{})
+	if cr.AggregateLatency.Mean >= burst.AggregateLatency.Mean {
+		t.Errorf("constant-rate mean %v >= burst mean %v",
+			cr.AggregateLatency.Mean, burst.AggregateLatency.Mean)
+	}
+	if cr.AggregateLatency.P99 >= burst.AggregateLatency.P99 {
+		t.Errorf("constant-rate p99 %v >= burst p99 %v",
+			cr.AggregateLatency.P99, burst.AggregateLatency.P99)
+	}
+}
+
+// TestBackgroundJobAndTimeline: congestion mid-run dents the throughput
+// timeline (Fig. 16 shape) and the timelines are recorded from t=0.
+func TestBackgroundJobAndTimeline(t *testing.T) {
+	reserved := int64(0.8 * scaledServerC / 10)
+	specs := make([]ClientSpec, 10)
+	for i := range specs {
+		specs[i] = ClientSpec{Reservation: reserved, Demand: ConstantDemand(uint64(reserved) + 400)}
+	}
+	cl, err := New(testConfig(Haechi), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		job, err := cl.AddBackgroundJob(string(rune('a'+j)), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.At(6*cl.Config().Params.Period, job.Start)
+	}
+	if _, err := cl.AddBackgroundJob("a", 64); err == nil {
+		t.Error("duplicate job name accepted")
+	}
+	res, err := cl.Run(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after float64
+	for _, cr := range res.Clients {
+		for p := 1; p < 4; p++ {
+			before += float64(cr.Periods[p])
+		}
+		for p := 7; p < 10; p++ {
+			after += float64(cr.Periods[p])
+		}
+	}
+	if after >= before {
+		t.Errorf("congestion did not dent throughput: before=%.0f after=%.0f", before, after)
+	}
+	if res.Clients[0].Timeline.Len() < 10 {
+		t.Errorf("timeline too short: %d", res.Clients[0].Timeline.Len())
+	}
+	if res.OmegaTimeline.Len() == 0 || res.UsageTimeline.Len() == 0 {
+		t.Error("monitor timelines missing")
+	}
+}
+
+// TestProfileCapacity measures Omega_prof ≈ C_G with small sigma.
+func TestProfileCapacity(t *testing.T) {
+	prof, err := ProfileCapacity(testConfig(Bare), 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.MeanPerPeriod < 0.95*scaledServerC || prof.MeanPerPeriod > 1.05*scaledServerC {
+		t.Errorf("profiled %.0f, want ≈%d", prof.MeanPerPeriod, scaledServerC)
+	}
+	if prof.Sigma < 0 || prof.Sigma > 0.05*scaledServerC {
+		t.Errorf("sigma %.1f out of expected range", prof.Sigma)
+	}
+	if prof.LowerBound(3) >= int64(prof.MeanPerPeriod) {
+		t.Error("lower bound not below mean")
+	}
+	if _, err := ProfileCapacity(testConfig(Bare), 0, 5); err == nil {
+		t.Error("zero clients accepted")
+	}
+}
+
+// TestRunValidation covers bad run arguments.
+func TestRunValidation(t *testing.T) {
+	cl, err := New(testConfig(Bare), []ClientSpec{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(-1, 3); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	if _, err := cl.Run(1, 0); err == nil {
+		t.Error("zero measure accepted")
+	}
+}
+
+// TestLimitInCluster: limits hold end to end.
+func TestLimitInCluster(t *testing.T) {
+	reserved := int64(1000)
+	specs := []ClientSpec{{
+		Reservation: reserved,
+		Limit:       1500,
+		Demand:      ConstantDemand(4000),
+	}}
+	cl, err := New(testConfig(Haechi), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, n := range res.Clients[0].Periods {
+		if n > 1500+64 {
+			t.Errorf("period %d: %d completions exceed limit 1500", p, n)
+		}
+	}
+}
+
+// TestResultsString formats without panicking and contains client rows.
+func TestResultsString(t *testing.T) {
+	specs := []ClientSpec{{Reservation: 500, Demand: ConstantDemand(600)}}
+	cl, err := New(testConfig(Haechi), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if s == "" || len(s) < 20 {
+		t.Errorf("String too short: %q", s)
+	}
+}
+
+// TestScaledParamsStillValid: a scaled config passes core validation and
+// produces a working monitor with period structure intact.
+func TestScaledParamsStillValid(t *testing.T) {
+	cfg, err := testConfig(Haechi).ApplyScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Params.Period != core.NewDefaultParams().Period {
+		t.Error("scale must not change the QoS period")
+	}
+	_ = sim.Time(0)
+}
+
+// TestUpdateMix: a YCSB-B-style 5% update mix flows through the same
+// token path; updates are one-sided writes at the server.
+func TestUpdateMix(t *testing.T) {
+	specs := []ClientSpec{{
+		Reservation:    2000,
+		Demand:         ConstantDemand(2500),
+		UpdateFraction: 0.5,
+	}}
+	cl, err := New(testConfig(Haechi), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Clients[0].MinPeriod) < 0.97*2000 {
+		t.Errorf("reservation missed with update mix: %d", res.Clients[0].MinPeriod)
+	}
+	kv := cl.Clients()[0].KV
+	gets, puts := kv.OneSidedGets(), kv.OneSidedPuts()
+	total := gets + puts
+	frac := float64(puts) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("update fraction = %.2f, want ≈0.5 (gets=%d puts=%d)", frac, gets, puts)
+	}
+	// Still silent: no server CPU involvement.
+	if res.ServerStats.SendsReceived != 0 {
+		t.Errorf("update mix generated %d server messages", res.ServerStats.SendsReceived)
+	}
+}
+
+// TestPoissonPatternInCluster: the extension arrival process works end to
+// end under QoS.
+func TestPoissonPatternInCluster(t *testing.T) {
+	specs := []ClientSpec{{
+		Reservation: 2000,
+		Demand:      ConstantDemand(2400),
+		Pattern:     workload.Poisson{},
+	}}
+	cl, err := New(testConfig(Haechi), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open-loop random arrivals: the mean must track the demand.
+	if res.Clients[0].MeanPeriod < 2200 || res.Clients[0].MeanPeriod > 2600 {
+		t.Errorf("poisson mean %f, want ≈2400", res.Clients[0].MeanPeriod)
+	}
+}
+
+// TestTracing: the shared recorder captures the protocol's event flow.
+func TestTracing(t *testing.T) {
+	specs := []ClientSpec{
+		{Reservation: 2000, Demand: ConstantDemand(4000)},
+		{Reservation: 2000, Demand: ConstantDemand(500)}, // yields
+	}
+	cl, err := New(testConfig(Haechi), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cl.EnableTrace(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.EnableTrace(0); err == nil {
+		t.Error("zero-capacity trace accepted")
+	}
+	if _, err := cl.Run(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.Counts()
+	for _, k := range []trace.Kind{trace.PeriodStart, trace.TokenPush, trace.Report,
+		trace.CapacityUpdate, trace.Claim, trace.Yield} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events recorded (counts: %v)", k, counts)
+		}
+	}
+	if rec.Summary() == "trace: empty" {
+		t.Error("summary empty")
+	}
+}
+
+// TestTraceBareModeRejected: tracing needs a monitor.
+func TestTraceBareModeRejected(t *testing.T) {
+	cl, err := New(testConfig(Bare), []ClientSpec{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.EnableTrace(128); err == nil {
+		t.Error("bare-mode tracing accepted")
+	}
+}
+
+// TestGoldenDeterminism: identical configurations produce event-for-event
+// identical results. Two fresh clusters with the same seed must agree on
+// every per-period count; any divergence means nondeterminism leaked into
+// the simulation (wall-clock, map iteration into event order, etc.).
+func TestGoldenDeterminism(t *testing.T) {
+	build := func() *Results {
+		res, err := workload.ZipfGroupSplit(uint64(0.9*scaledServerC), 10, 5, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := make([]ClientSpec, 10)
+		for i := range specs {
+			d := res[i] + 1570
+			if i == 1 {
+				d = res[i] / 2
+			}
+			specs[i] = ClientSpec{Reservation: int64(res[i]), Demand: ConstantDemand(d), UpdateFraction: 0.05}
+		}
+		cl, err := New(testConfig(Haechi), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := cl.Run(1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if a.TotalCompleted != b.TotalCompleted {
+		t.Fatalf("runs diverge: %d vs %d", a.TotalCompleted, b.TotalCompleted)
+	}
+	for i := range a.Clients {
+		for p := range a.Clients[i].Periods {
+			if a.Clients[i].Periods[p] != b.Clients[i].Periods[p] {
+				t.Fatalf("client %d period %d diverges: %d vs %d",
+					i, p, a.Clients[i].Periods[p], b.Clients[i].Periods[p])
+			}
+		}
+		if a.Clients[i].Latency.P99 != b.Clients[i].Latency.P99 {
+			t.Fatalf("client %d latency diverges", i)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package cluster wires the full testbed the paper evaluates: one data
+// node running the KV store (and, in QoS modes, the Haechi monitor), N
+// client nodes each running a workload generator (and, in QoS modes, a
+// QoS engine), connected by the simulated RDMA fabric. It runs
+// warm-up/measure windows and harvests per-period completions, latency
+// histograms, throughput timelines and protocol-overhead counters — the
+// raw material for every figure in the paper.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/core"
+	"github.com/haechi-qos/haechi/internal/kvstore"
+	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/workload"
+)
+
+// Mode selects the QoS system under test.
+type Mode int
+
+// Modes.
+const (
+	// Bare is the paper's comparison system: one-sided I/Os with no QoS.
+	Bare Mode = iota + 1
+	// Haechi is the full protocol.
+	Haechi
+	// BasicHaechi disables token conversion (Experiment 2B's strawman).
+	BasicHaechi
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Bare:
+		return "bare"
+	case Haechi:
+		return "haechi"
+	case BasicHaechi:
+		return "basic-haechi"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DemandFn maps a period index (1-based) to the number of requests the
+// client wants served that period.
+type DemandFn func(period int) uint64
+
+// ConstantDemand returns a DemandFn with the same target every period.
+func ConstantDemand(n uint64) DemandFn { return func(int) uint64 { return n } }
+
+// UnlimitedDemand keeps the client saturated (profiling experiments).
+func UnlimitedDemand() DemandFn { return func(int) uint64 { return workload.InfiniteDemand } }
+
+// ClientSpec describes one tenant.
+type ClientSpec struct {
+	// Reservation is R_i per period (QoS modes only).
+	Reservation int64
+	// Limit is L_i per period; 0 = unlimited.
+	Limit int64
+	// Demand is the per-period request target; nil means unlimited.
+	Demand DemandFn
+	// Pattern is the temporal request pattern; nil means Burst{} (submit
+	// the whole demand at period start, the paper's QoS-experiment form).
+	Pattern workload.Pattern
+	// Keys selects which records are read; nil means YCSB zipfian over
+	// the populated keyspace.
+	Keys workload.KeyChooser
+	// UpdateFraction is the YCSB-style share of requests issued as
+	// one-sided record WRITEs instead of READs (0 = read-only, the
+	// paper's workload; 0.05 = YCSB-B).
+	UpdateFraction float64
+}
+
+// Config assembles a testbed.
+type Config struct {
+	// Mode selects bare/Haechi/Basic-Haechi.
+	Mode Mode
+	// Fabric is the performance model; zero value means the
+	// paper-calibrated defaults.
+	Fabric rdma.Config
+	// Params are the Haechi protocol constants; zero value means paper
+	// defaults.
+	Params core.Params
+	// Scale divides all fabric rates by this factor (0 or 1 = full
+	// scale) and rescales the control-plane constants to preserve the
+	// paper's control:data cost ratios (see ApplyScale).
+	Scale float64
+	// Store configures the KV store; zero value means defaults.
+	Store kvstore.Options
+	// Records is the number of records populated (and the keyspace of
+	// the default chooser); 0 means the store capacity / 2.
+	Records int
+	// TwoSided switches the data path to two-sided RPC GETs (the
+	// comparison curves of Figs. 6-7). QoS modes require one-sided.
+	TwoSided bool
+	// ProfiledCapacity is Omega_prof in I/Os per period; 0 derives it
+	// from the fabric's server rate.
+	ProfiledCapacity int64
+	// Sigma is the profiled capacity's standard deviation; 0 derives 1%
+	// of the profiled capacity.
+	Sigma float64
+	// AlertAfter configures under-use alerts (0 = off).
+	AlertAfter int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// NewDefaultConfig returns a full-scale Haechi testbed configuration.
+func NewDefaultConfig() Config {
+	return Config{
+		Mode:   Haechi,
+		Fabric: rdma.NewDefaultConfig(),
+		Params: core.NewDefaultParams(),
+		Scale:  1,
+		Store:  kvstore.NewDefaultOptions(),
+		Seed:   1,
+	}
+}
+
+// ApplyScale normalizes the config: fills zero values with defaults and,
+// when Scale > 1, divides the fabric rates by Scale while multiplying the
+// control intervals and dividing the FAA batch by the same factor. This
+// keeps every dimensionless ratio of the protocol — control-verb cost per
+// unit of capacity, tokens per batch relative to the pool, ticks per
+// period — equal to the paper's, so scaled runs reproduce full-scale
+// shapes quickly.
+func (c Config) ApplyScale() (Config, error) {
+	if c.Mode == 0 {
+		c.Mode = Haechi
+	}
+	if c.Fabric == (rdma.Config{}) {
+		c.Fabric = rdma.NewDefaultConfig()
+	}
+	if c.Params == (core.Params{}) {
+		c.Params = core.NewDefaultParams()
+	}
+	if c.Store == (kvstore.Options{}) {
+		c.Store = kvstore.NewDefaultOptions()
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Scale < 1 {
+		return c, fmt.Errorf("cluster: Scale must be >= 1, got %v", c.Scale)
+	}
+	if c.Scale > 1 {
+		s := c.Scale
+		c.Fabric = c.Fabric.Scaled(s)
+		c.Params.Tick = clampInterval(sim.Time(float64(c.Params.Tick)*s), c.Params.Period)
+		c.Params.CheckInterval = clampInterval(sim.Time(float64(c.Params.CheckInterval)*s), c.Params.Period)
+		c.Params.ReportInterval = clampInterval(sim.Time(float64(c.Params.ReportInterval)*s), c.Params.Period)
+		if b := int64(float64(c.Params.Batch) / s); b >= 1 {
+			c.Params.Batch = b
+		} else {
+			c.Params.Batch = 1
+		}
+	}
+	if c.Records == 0 {
+		c.Records = c.Store.Capacity / 2
+	}
+	if c.ProfiledCapacity == 0 {
+		c.ProfiledCapacity = int64(c.Fabric.ServerOneSidedRate * c.Params.Period.Seconds())
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.01 * float64(c.ProfiledCapacity)
+	}
+	if c.TwoSided && c.Mode != Bare {
+		return c, fmt.Errorf("cluster: QoS modes require one-sided I/O (Haechi's premise); TwoSided is bare-only")
+	}
+	if err := c.Fabric.Validate(); err != nil {
+		return c, err
+	}
+	if err := c.Params.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func clampInterval(v, period sim.Time) sim.Time {
+	if v > period/10 {
+		v = period / 10
+	}
+	if v <= 0 {
+		v = 1
+	}
+	return v
+}
+
+// LocalCapacityPerPeriod returns C_L*T for the config's fabric.
+func (c Config) LocalCapacityPerPeriod() int64 {
+	return int64(c.Fabric.ClientOneSidedRate * c.Params.Period.Seconds())
+}

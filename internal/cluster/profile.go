@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProfileResult is the outcome of the capacity-profiling procedure.
+type ProfileResult struct {
+	// MeanPerPeriod is Omega_prof: mean completed I/Os per QoS period.
+	MeanPerPeriod float64
+	// Sigma is the standard deviation across profiled periods.
+	Sigma float64
+	// Periods is the number of profiled periods.
+	Periods int
+}
+
+// LowerBound returns Omega_prof - k*sigma.
+func (p ProfileResult) LowerBound(k float64) int64 {
+	return int64(p.MeanPerPeriod - k*p.Sigma)
+}
+
+// ProfileCapacity reproduces the paper's profiling procedure (Section
+// II-E): continuous back-to-back one-sided 4 KB reads from nClients
+// saturating clients against a bare data node for `periods` QoS periods;
+// the per-period completion distribution yields Omega_prof and sigma.
+// (The paper profiles 1000 one-period runs; a single long run with
+// per-period sampling measures the same distribution.)
+func ProfileCapacity(cfg Config, nClients, periods int) (ProfileResult, error) {
+	if nClients <= 0 || periods <= 0 {
+		return ProfileResult{}, fmt.Errorf("cluster: profiling needs clients > 0 and periods > 0")
+	}
+	cfg.Mode = Bare
+	cfg.TwoSided = false
+	specs := make([]ClientSpec, nClients)
+	for i := range specs {
+		specs[i] = ClientSpec{Demand: UnlimitedDemand()}
+	}
+	cl, err := New(cfg, specs)
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	res, err := cl.Run(1, periods)
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	// Per-period totals across clients.
+	totals := make([]float64, 0, periods)
+	for p := 0; p < periods; p++ {
+		var sum float64
+		for _, cr := range res.Clients {
+			if p < len(cr.Periods) {
+				sum += float64(cr.Periods[p])
+			}
+		}
+		totals = append(totals, sum)
+	}
+	var mean float64
+	for _, v := range totals {
+		mean += v
+	}
+	mean /= float64(len(totals))
+	var varsum float64
+	for _, v := range totals {
+		varsum += (v - mean) * (v - mean)
+	}
+	sigma := math.Sqrt(varsum / float64(len(totals)))
+	return ProfileResult{MeanPerPeriod: mean, Sigma: sigma, Periods: len(totals)}, nil
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/haechi-qos/haechi/internal/metrics"
+	"github.com/haechi-qos/haechi/internal/rdma"
+)
+
+// ClientResult is one tenant's measured outcome.
+type ClientResult struct {
+	Index       int
+	Reservation int64
+	// Periods are completions in each measured period.
+	Periods []uint64
+	// Total is the sum over the measured periods.
+	Total uint64
+	// MinPeriod and MeanPeriod summarize the per-period counts.
+	MinPeriod  uint64
+	MeanPeriod float64
+	// MetReservation reports whether every measured period reached R_i.
+	MetReservation bool
+	// Latency summarizes request latency (submission to completion,
+	// including token-wait queueing) over the measure window.
+	Latency metrics.Summary
+	// Timeline is the full per-period completion series from t=0,
+	// including warm-up and transition periods (Figs. 16-19).
+	Timeline metrics.Series
+}
+
+// OverheadReport quantifies Haechi's token-management cost at the data
+// node over the measure window (the paper's "negligible overhead" claim).
+type OverheadReport struct {
+	// FAAs is the number of global-token claims plus monitor pool reads.
+	FAAs uint64
+	// ControlWrites counts client reports and monitor pool rewrites.
+	ControlWrites uint64
+	// ControlSends counts two-sided control messages.
+	ControlSends uint64
+	// DataReads counts one-sided data READs.
+	DataReads uint64
+	// NICFraction estimates the fraction of data-node NIC service time
+	// spent on QoS verbs rather than data I/O.
+	NICFraction float64
+}
+
+// Results aggregates one run.
+type Results struct {
+	Mode            Mode
+	MeasuredPeriods int
+	Clients         []ClientResult
+	// TotalCompleted sums completions over clients and measured periods.
+	TotalCompleted uint64
+	// ThroughputPerPeriod is TotalCompleted / MeasuredPeriods.
+	ThroughputPerPeriod float64
+	// AggregateLatency merges all clients' latency histograms.
+	AggregateLatency metrics.Summary
+	// OmegaTimeline and UsageTimeline are the monitor's per-period
+	// estimated capacity and reported usage (QoS modes only).
+	OmegaTimeline metrics.Series
+	UsageTimeline metrics.Series
+	// ServerStats is the data node's verb-counter delta over the window.
+	ServerStats rdma.Stats
+	// Overhead quantifies QoS control cost.
+	Overhead OverheadReport
+}
+
+func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) *Results {
+	res := &Results{
+		Mode:            c.cfg.Mode,
+		MeasuredPeriods: measurePeriods,
+		ServerStats:     serverStats,
+	}
+	var agg metrics.Histogram
+	var totalFAA, totalReports, totalSends uint64
+	for i, rt := range c.clients {
+		cr := ClientResult{
+			Index:       i,
+			Reservation: rt.Spec.Reservation,
+			Periods:     rt.Periods.Completed,
+			Total:       rt.Periods.Total(),
+			MinPeriod:   rt.Periods.Min(),
+			MeanPeriod:  rt.Periods.Mean(),
+			Latency:     rt.Gen.Latency.Summarize(),
+			Timeline:    rt.Timeline,
+		}
+		cr.MetReservation = len(cr.Periods) > 0 && int64(cr.MinPeriod) >= rt.Spec.Reservation
+		agg.Merge(&rt.Gen.Latency)
+		res.TotalCompleted += cr.Total
+		res.Clients = append(res.Clients, cr)
+		if rt.Engine != nil {
+			st := rt.Engine.Stats()
+			totalFAA += st.FAAIssued
+			totalReports += st.ReportsSent
+		}
+	}
+	res.ThroughputPerPeriod = float64(res.TotalCompleted) / float64(measurePeriods)
+	res.AggregateLatency = agg.Summarize()
+	if c.monitor != nil {
+		res.OmegaTimeline = c.monitor.OmegaSeries
+		res.UsageTimeline = c.monitor.UsageSeries
+		totalSends = serverStats.SendsSent // token pushes + signals
+		checks := uint64(float64(measurePeriods) * float64(c.cfg.Params.Period/c.cfg.Params.CheckInterval))
+		res.Overhead = OverheadReport{
+			FAAs:          totalFAA + checks,
+			ControlWrites: totalReports + c.monitor.ConversionCount,
+			ControlSends:  totalSends,
+			DataReads:     serverStats.OneSidedTargeted - totalFAA - checks - totalReports - c.monitor.ConversionCount,
+		}
+		f := c.cfg.Fabric
+		weighted := float64(res.Overhead.FAAs)*f.AtomicWeight +
+			float64(res.Overhead.ControlWrites)*f.MinVerbWeight +
+			float64(res.Overhead.ControlSends)*f.SendRequestWeight
+		capacityUnits := f.ServerOneSidedRate * c.cfg.Params.Period.Seconds() * float64(measurePeriods)
+		res.Overhead.NICFraction = weighted / capacityUnits
+	}
+	return res
+}
+
+// String renders a per-client table in the shape of the paper's bar
+// charts: reservation, completions, attainment.
+func (r *Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s periods=%d total=%d throughput=%.0f/period\n",
+		r.Mode, r.MeasuredPeriods, r.TotalCompleted, r.ThroughputPerPeriod)
+	for _, cr := range r.Clients {
+		met := " "
+		if cr.Reservation > 0 {
+			if cr.MetReservation {
+				met = "met"
+			} else {
+				met = "MISS"
+			}
+		}
+		fmt.Fprintf(&b, "  C%-2d R=%-9d total=%-10d min/period=%-9d mean/period=%-10.0f %s\n",
+			cr.Index+1, cr.Reservation, cr.Total, cr.MinPeriod, cr.MeanPeriod, met)
+	}
+	if r.Overhead.FAAs > 0 || r.Overhead.ControlWrites > 0 {
+		fmt.Fprintf(&b, "  overhead: faa=%d ctrlWrites=%d ctrlSends=%d nicFraction=%.4f%%\n",
+			r.Overhead.FAAs, r.Overhead.ControlWrites, r.Overhead.ControlSends, 100*r.Overhead.NICFraction)
+	}
+	return b.String()
+}

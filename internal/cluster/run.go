@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// Run executes the experiment: warmupPeriods QoS periods of warm-up
+// (discarded, like the paper's first 30 s), then measurePeriods periods
+// whose per-client completions, latencies and throughput are recorded.
+// Run is one-shot: it consumes the cluster.
+func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
+	if warmupPeriods < 0 || measurePeriods <= 0 {
+		return nil, fmt.Errorf("cluster: need warmupPeriods >= 0 and measurePeriods > 0, got %d/%d",
+			warmupPeriods, measurePeriods)
+	}
+	k := c.kernel
+	T := c.cfg.Params.Period
+	start := k.Now()
+
+	if c.cfg.Mode == Bare {
+		tick, err := k.Every(0, T, func() {
+			c.barePeriod++
+			for _, rt := range c.clients {
+				c.harvest(rt, c.barePeriod)
+				rt.Gen.BeginPeriod(rt.Spec.Demand(c.barePeriod))
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.bareTicker = tick
+	} else {
+		if err := c.monitor.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	warmEnd := start + sim.Time(warmupPeriods)*T
+	measureEnd := warmEnd + sim.Time(measurePeriods)*T
+	k.At(warmEnd, func() {
+		c.serverStat0 = c.server.Stats()
+		for _, rt := range c.clients {
+			rt.Gen.Latency.Reset()
+			rt.measuring = true
+			// The next harvest closes the final warm-up period; skip it.
+			rt.skipNext = true
+		}
+	})
+	// Harvests for period p happen just after the p+1 boundary; stop
+	// measuring mid-period so exactly measurePeriods are recorded.
+	k.At(measureEnd+T/2, func() {
+		for _, rt := range c.clients {
+			rt.measuring = false
+		}
+	})
+
+	k.RunUntil(measureEnd + 3*T/4)
+	serverStats := c.server.Stats().Sub(c.serverStat0)
+
+	if c.bareTicker != nil {
+		c.bareTicker.Stop()
+	}
+	if c.monitor != nil {
+		c.monitor.Stop()
+	}
+	for _, rt := range c.clients {
+		rt.Gen.Stop()
+		if rt.Engine != nil {
+			rt.Engine.Stop()
+		}
+	}
+	return c.buildResults(measurePeriods, serverStats), nil
+}

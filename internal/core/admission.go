@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// AdmissionController enforces Definition 2 when a client connects:
+//
+//   - aggregate capacity: the reservations of all admitted clients must
+//     fit in the saturated system throughput, sum(R_i) <= T*C_G;
+//   - local capacity: a single client's reservation must be achievable at
+//     its maximum individual rate, R_i <= T*C_L (the t=0 instance of
+//     R_i - N_i(t) <= (T-t)*C_L).
+//
+// Both capacities are expressed in I/Os per QoS period.
+type AdmissionController struct {
+	aggregateCap int64
+	localCap     int64
+	reserved     int64
+	admitted     map[int]int64
+}
+
+// NewAdmissionController creates a controller with the given per-period
+// capacities (for the paper's testbed: C_G*T = 1570K, C_L*T = 400K).
+func NewAdmissionController(aggregateCap, localCap int64) (*AdmissionController, error) {
+	if aggregateCap <= 0 || localCap <= 0 {
+		return nil, fmt.Errorf("core: admission capacities must be positive, got C_G=%d C_L=%d", aggregateCap, localCap)
+	}
+	return &AdmissionController{
+		aggregateCap: aggregateCap,
+		localCap:     localCap,
+		admitted:     make(map[int]int64),
+	}, nil
+}
+
+// ErrAdmission wraps admission failures so callers can distinguish them.
+type ErrAdmission struct {
+	Reason string
+}
+
+func (e *ErrAdmission) Error() string { return "core: admission denied: " + e.Reason }
+
+// Admit checks the client's reservation against both constraints and
+// records it. id must be unused.
+func (a *AdmissionController) Admit(id int, reservation int64) error {
+	if reservation < 0 {
+		return &ErrAdmission{Reason: fmt.Sprintf("negative reservation %d", reservation)}
+	}
+	if _, ok := a.admitted[id]; ok {
+		return &ErrAdmission{Reason: fmt.Sprintf("client %d already admitted", id)}
+	}
+	if reservation > a.localCap {
+		return &ErrAdmission{Reason: fmt.Sprintf(
+			"local capacity violation: reservation %d exceeds per-client capacity %d (C_L)", reservation, a.localCap)}
+	}
+	if a.reserved+reservation > a.aggregateCap {
+		return &ErrAdmission{Reason: fmt.Sprintf(
+			"aggregate capacity violation: total reservation %d would exceed capacity %d (C_G)",
+			a.reserved+reservation, a.aggregateCap)}
+	}
+	a.admitted[id] = reservation
+	a.reserved += reservation
+	return nil
+}
+
+// Release removes a departed client's reservation.
+func (a *AdmissionController) Release(id int) {
+	if r, ok := a.admitted[id]; ok {
+		a.reserved -= r
+		delete(a.admitted, id)
+	}
+}
+
+// Reserved returns the total admitted reservation.
+func (a *AdmissionController) Reserved() int64 { return a.reserved }
+
+// Headroom returns the unreserved aggregate capacity.
+func (a *AdmissionController) Headroom() int64 { return a.aggregateCap - a.reserved }
+
+// LocalViolation checks the runtime form of the local constraint at time
+// fraction elapsed in [0,1]: whether the remaining reservation
+// R - completed can still be served at rate C_L in the remaining period.
+// It reports by how many I/Os the requirement exceeds what is achievable
+// (0 if satisfiable). Experiment 1C/Set 3's burst-pattern reservation
+// misses are exactly this quantity going positive mid-period.
+func (a *AdmissionController) LocalViolation(reservation, completed int64, elapsed float64) int64 {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if elapsed > 1 {
+		elapsed = 1
+	}
+	remainingNeed := reservation - completed
+	achievable := int64((1 - elapsed) * float64(a.localCap))
+	if v := remainingNeed - achievable; v > 0 {
+		return v
+	}
+	return 0
+}

@@ -1,0 +1,502 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/metrics"
+	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/trace"
+)
+
+// IOSender performs the actual one-sided data I/O once the engine has a
+// token for it (e.g. a kvstore one-sided GET). done must fire exactly once
+// at I/O completion.
+type IOSender func(key uint64, done func())
+
+// ClientGrant is what admission hands a client: its identity and the
+// capabilities needed to participate in the protocol.
+type ClientGrant struct {
+	// ID is the client's index in the monitor's report table.
+	ID int
+	// ServerNode is the data node.
+	ServerNode *rdma.Node
+	// QoSRegion holds the global token cell and report table.
+	QoSRegion *rdma.Region
+}
+
+// pendingReq is a request waiting for a token.
+type pendingReq struct {
+	key  uint64
+	done func()
+}
+
+// Engine is the client-side QoS engine (Section II-D): it admits
+// application requests only when backed by a token, manages the
+// reservation-token decay (the X counter), claims batched global tokens
+// with one-sided FETCH_ADD, and silently reports usage statistics.
+type Engine struct {
+	params Params
+	id     int
+	limit  int64
+
+	k         *sim.Kernel
+	node      *rdma.Node
+	qp        *rdma.QP
+	qos       *rdma.Region
+	reportOff int
+	sender    IOSender
+
+	// Period state.
+	periodIndex int
+	periodEnd   sim.Time
+	reservation int64
+	resTokens   int64   // xi_reservation
+	localGlobal int64   // claimed, unspent global tokens
+	x           float64 // the X counter: upper bound on residual reservation
+	dispatched  int64   // token-backed I/Os granted this period
+	resUsed     int64   // reservation tokens consumed this period
+	completed   int64   // N_i: I/Os completed this period
+	faaInFlight bool
+	crashed     bool
+	// poolExhausted is set when a claim observed a non-positive pool;
+	// until a probe sees tokens again, retries read the cell with a
+	// zero-delta FETCH_ADD instead of digging it further negative.
+	poolExhausted bool
+	reporting     bool
+
+	queue []pendingReq
+	head  int
+
+	// sendQ holds token-backed I/Os awaiting a send-queue slot; inflight
+	// counts I/Os posted to the NIC and not yet completed, bounded by
+	// Params.SendQueueDepth.
+	sendQ    []pendingReq
+	sendHead int
+	inflight int
+
+	// convert mirrors the monitor's conversion mode: when true, tokens
+	// yielded by the X-counter decay are returned to the global pool
+	// with a one-sided FETCH_ADD (+y); when false (Basic Haechi) they
+	// are wasted.
+	convert bool
+
+	tick             *sim.Ticker
+	reportTicker     *sim.Ticker
+	finalReportTimer *sim.Timer
+
+	// OnPeriodStart, if set, is invoked when a new QoS period begins
+	// (after tokens are installed); the workload generator hooks it.
+	OnPeriodStart func(index int)
+	// OnAlert, if set, is invoked when the monitor warns that this client
+	// consistently under-uses its reservation.
+	OnAlert func(consecutivePeriods int)
+
+	// PeriodLog records completed I/Os per finished period.
+	PeriodLog metrics.PeriodLog
+
+	// Trace, when non-nil, records protocol events (claims, probes,
+	// yields, reports, throttling).
+	Trace *trace.Recorder
+
+	// Counters.
+	totalCompleted  uint64
+	totalRequested  uint64
+	faaIssued       uint64
+	tokensYielded   int64
+	reportsSent     uint64
+	limitThrottled  uint64
+	globalConsumed  int64
+	reservationUsed int64
+	tokensReturned  int64
+}
+
+// NewEngine creates and starts a QoS engine on node for the admitted
+// client described by grant. limit is L_i, the per-period request cap
+// (0 = unlimited). sender performs the one-sided data I/O. disp is the
+// client node's dispatcher, used to receive the monitor's control
+// messages.
+func NewEngine(params Params, grant ClientGrant, node *rdma.Node, disp *rdma.Dispatcher, limit int64, sender IOSender) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil || disp == nil || sender == nil {
+		return nil, fmt.Errorf("core: NewEngine requires node, dispatcher and sender")
+	}
+	if grant.ServerNode == nil || grant.QoSRegion == nil {
+		return nil, fmt.Errorf("core: NewEngine requires a complete grant (was the client admitted?)")
+	}
+	if limit < 0 {
+		return nil, fmt.Errorf("core: limit must be non-negative, got %d", limit)
+	}
+	qp, err := node.Fabric().Connect(node, grant.ServerNode)
+	if err != nil {
+		return nil, fmt.Errorf("core: connecting engine to data node: %w", err)
+	}
+	e := &Engine{
+		params:    params,
+		id:        grant.ID,
+		limit:     limit,
+		k:         node.Fabric().Kernel(),
+		node:      node,
+		qp:        qp,
+		qos:       grant.QoSRegion,
+		reportOff: reportSlotOffset(grant.ID),
+		sender:    sender,
+	}
+	// Handlers are scoped to this engine's data node, so several engines
+	// (one per server in a multi-server deployment) can share one client
+	// node's dispatcher.
+	if err := disp.HandleFrom(msgPeriodStart, grant.ServerNode, e.handlePeriodStart); err != nil {
+		return nil, err
+	}
+	if err := disp.HandleFrom(msgReportOn, grant.ServerNode, e.handleReportOn); err != nil {
+		return nil, err
+	}
+	if err := disp.HandleFrom(msgAlert, grant.ServerNode, e.handleAlert); err != nil {
+		return nil, err
+	}
+	e.tick, err = e.k.Every(params.Tick, params.Tick, e.onTick)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ID returns the client's identity in the monitor's table.
+func (e *Engine) ID() int { return e.id }
+
+// Request submits one application I/O. It is served as soon as the engine
+// holds a token for it; otherwise it queues ("The I/O sender function in
+// the QoS engine will reject I/Os that are not backed by a token").
+func (e *Engine) Request(key uint64, done func()) {
+	if e.crashed {
+		return
+	}
+	e.totalRequested++
+	e.queue = append(e.queue, pendingReq{key: key, done: done})
+	e.drain()
+}
+
+// Pending returns the number of requests waiting for tokens.
+func (e *Engine) Pending() int { return len(e.queue) - e.head }
+
+// ReservationTokens returns the current xi_reservation.
+func (e *Engine) ReservationTokens() int64 { return e.resTokens }
+
+// LocalGlobalTokens returns claimed-but-unspent global tokens.
+func (e *Engine) LocalGlobalTokens() int64 { return e.localGlobal }
+
+// CompletedThisPeriod returns N_i.
+func (e *Engine) CompletedThisPeriod() int64 { return e.completed }
+
+// TotalCompleted returns the lifetime completed count.
+func (e *Engine) TotalCompleted() uint64 { return e.totalCompleted }
+
+// PeriodIndex returns the current QoS period number (0 before the first).
+func (e *Engine) PeriodIndex() int { return e.periodIndex }
+
+// Stop halts the engine's tickers; queued requests are abandoned.
+func (e *Engine) Stop() {
+	e.tick.Stop()
+	if e.reportTicker != nil {
+		e.reportTicker.Stop()
+	}
+	e.finalReportTimer.Cancel()
+}
+
+// Crash simulates a client failure for fault-injection tests: the engine
+// stops all protocol activity (ticks, reports, claims) and silently drops
+// its queued and future requests. The monitor's failure detection should
+// reclaim the client's reservation after its grace window.
+func (e *Engine) Crash() {
+	e.crashed = true
+	e.Stop()
+	e.queue, e.head = nil, 0
+	e.sendQ, e.sendHead = nil, 0
+	e.OnPeriodStart = nil
+}
+
+// EngineStats is a snapshot of protocol-overhead counters.
+type EngineStats struct {
+	TotalRequested  uint64
+	TotalCompleted  uint64
+	FAAIssued       uint64
+	ReportsSent     uint64
+	TokensYielded   int64
+	TokensReturned  int64
+	LimitThrottled  uint64
+	ReservationUsed int64
+	GlobalConsumed  int64
+}
+
+// Stats returns the engine's protocol counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		TotalRequested:  e.totalRequested,
+		TotalCompleted:  e.totalCompleted,
+		FAAIssued:       e.faaIssued,
+		ReportsSent:     e.reportsSent,
+		TokensYielded:   e.tokensYielded,
+		TokensReturned:  e.tokensReturned,
+		LimitThrottled:  e.limitThrottled,
+		ReservationUsed: e.reservationUsed,
+		GlobalConsumed:  e.globalConsumed,
+	}
+}
+
+// drain admits queued requests while tokens allow (Fig. 3 flowchart):
+// each admitted request consumes one token — Example 1's accounting, where
+// the residual reservation is R minus the demand already admitted — and
+// moves to the send queue, which paces actual posting.
+func (e *Engine) drain() {
+	defer e.pump()
+	for e.head < len(e.queue) {
+		if e.limit > 0 && e.dispatched >= e.limit {
+			// Limit reached: throttle until the next period.
+			e.limitThrottled++
+			e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.LimitThrottle, Actor: e.actor(), A: e.limit})
+			return
+		}
+		switch {
+		case e.resTokens > 0:
+			e.resTokens--
+			e.resUsed++
+			e.reservationUsed++
+		case e.localGlobal > 0:
+			e.localGlobal--
+			e.globalConsumed++
+		default:
+			// While the pool is known-exhausted, only the tick's jittered
+			// retry probes it (step T4: the client waits for returned
+			// tokens or the next period); claiming on every arrival would
+			// turn the data node's NIC into an atomics hot spot.
+			if !e.poolExhausted {
+				e.ensureFAA()
+			}
+			return
+		}
+		req := e.queue[e.head]
+		e.queue[e.head] = pendingReq{} // release references
+		e.head++
+		e.dispatched++
+		e.sendQ = append(e.sendQ, req)
+	}
+	e.queue, e.head = compact(e.queue, e.head)
+}
+
+// pump posts token-backed I/Os to the NIC up to the send-queue depth.
+func (e *Engine) pump() {
+	for e.inflight < e.params.SendQueueDepth && e.sendHead < len(e.sendQ) {
+		req := e.sendQ[e.sendHead]
+		e.sendQ[e.sendHead] = pendingReq{}
+		e.sendHead++
+		e.inflight++
+		e.fire(req)
+	}
+	e.sendQ, e.sendHead = compact(e.sendQ, e.sendHead)
+}
+
+// compact reclaims the consumed prefix of a FIFO slice.
+func compact(q []pendingReq, head int) ([]pendingReq, int) {
+	if head == len(q) {
+		return q[:0], 0
+	}
+	if head > 64 && head*2 > len(q) {
+		n := copy(q, q[head:])
+		return q[:n], 0
+	}
+	return q, head
+}
+
+func (e *Engine) fire(req pendingReq) {
+	e.sender(req.key, func() {
+		e.inflight--
+		e.completed++
+		e.totalCompleted++
+		req.done()
+		e.pump()
+	})
+}
+
+// ensureFAA claims a batch of global tokens with a single remote atomic,
+// unless a claim is already in flight or no period has started.
+func (e *Engine) ensureFAA() {
+	if e.faaInFlight || e.periodIndex == 0 {
+		return
+	}
+	e.faaInFlight = true
+	e.faaIssued++
+	pi := e.periodIndex
+	delta := -e.params.Batch
+	if e.poolExhausted {
+		// Probe only: a zero-delta FETCH_ADD reads the pool without
+		// consuming it, so starved clients do not dig the cell negative
+		// while waiting for conversion or the next period.
+		delta = 0
+	}
+	err := e.qp.FetchAdd(e.qos, globalTokenOff, delta, func(old int64) {
+		e.faaInFlight = false
+		if pi != e.periodIndex {
+			// The claim straddled a period boundary: its tokens belonged
+			// to the previous period's budget and are void. Re-enter the
+			// dispatch path so pending demand claims against the current
+			// period instead of stalling until the next tick.
+			e.drain()
+			return
+		}
+		if old <= 0 {
+			// Step T4: the unreserved capacity is exhausted; wait for
+			// the monitor to convert tokens or for the next period. The
+			// tick keeps probing while demand is pending.
+			e.poolExhausted = true
+			e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
+			return
+		}
+		if delta == 0 {
+			// The probe found tokens: switch back to claiming.
+			e.poolExhausted = false
+			e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
+			e.ensureFAA()
+			return
+		}
+		granted := old
+		if granted > e.params.Batch {
+			granted = e.params.Batch
+		} else {
+			// Partial batch: the pool is in its conversion-trickle
+			// regime. Back off to probing so one fast claim loop cannot
+			// camp on the pool and starve other clients of converted
+			// tokens (competition for global tokens stays fair).
+			e.poolExhausted = true
+		}
+		e.localGlobal += granted
+		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Claim, Actor: e.actor(), A: old, B: granted})
+		e.drain()
+	})
+	if err != nil {
+		e.faaInFlight = false
+	}
+}
+
+// onTick is the token-management thread (Section II-D): decay X at rate
+// r_i = R_i/T and yield reservation tokens the client is not earning with
+// demand; also retry the global-token claim while requests wait.
+func (e *Engine) onTick() {
+	if e.periodIndex == 0 {
+		return
+	}
+	e.x -= float64(e.params.Tick) / float64(e.params.Period) * float64(e.reservation)
+	if e.x < 0 {
+		e.x = 0
+	}
+	if xi := int64(e.x); e.resTokens > xi {
+		y := e.resTokens - xi
+		e.tokensYielded += y
+		e.resTokens = xi
+		returned := int64(0)
+		if e.convert {
+			// Return the yielded tokens to the global pool (Section
+			// II-B: "clients ... return their reservation tokens to the
+			// global pool") with a silent one-sided atomic.
+			_ = e.qp.FetchAdd(e.qos, globalTokenOff, y, nil)
+			e.tokensReturned += y
+			returned = y
+		}
+		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Yield, Actor: e.actor(), A: y, B: returned})
+	}
+	if e.Pending() > 0 && e.resTokens == 0 && e.localGlobal == 0 {
+		// Jitter the retry within the tick so competing clients probe the
+		// pool in varying order rather than a fixed creation order.
+		delay := sim.Time(e.k.Rand().Int63n(int64(e.params.Tick)))
+		pi := e.periodIndex
+		e.k.Schedule(delay, func() {
+			if pi == e.periodIndex && e.Pending() > 0 && e.resTokens == 0 && e.localGlobal == 0 {
+				e.ensureFAA()
+			}
+		})
+	}
+}
+
+// report writes the packed (residual, completed) word silently to the
+// monitor's table. The residual is "the number of remaining reservation
+// I/Os for the rest of the period" — the unconsumed reservation tokens,
+// exactly Example 1's accounting (R minus the greater of demand and the
+// linear entitlement rho).
+func (e *Engine) report() {
+	w := PackReport(clampUint32(e.resTokens), clampUint32(e.completed))
+	if err := e.qp.WriteUint64(e.qos, e.reportOff, w, nil); err == nil {
+		e.reportsSent++
+		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Report, Actor: e.actor(),
+			A: e.resTokens, B: e.completed})
+	}
+}
+
+// actor names the engine in trace events.
+func (e *Engine) actor() string { return fmt.Sprintf("engine-%d", e.id) }
+
+func (e *Engine) handlePeriodStart(_ *rdma.Node, body any) {
+	m, ok := body.(periodStartMsg)
+	if !ok || e.crashed {
+		return
+	}
+	if e.periodIndex > 0 {
+		e.PeriodLog.Observe(uint64(e.completed))
+	}
+	e.periodIndex = m.Index
+	e.periodEnd = sim.Time(m.EndAt)
+	e.convert = m.Convert
+	e.reservation = m.Reservation
+	e.resTokens = m.Reservation // fresh tokens replace any leftovers
+	e.localGlobal = 0           // unspent global tokens expire with the period
+	e.x = float64(m.Reservation)
+	e.poolExhausted = false
+	e.dispatched = 0
+	e.resUsed = 0
+	e.completed = 0
+	e.reporting = false
+	if e.reportTicker != nil {
+		e.reportTicker.Stop()
+		e.reportTicker = nil
+	}
+	// Schedule the end-of-period report that feeds Algorithm 1 (see
+	// DESIGN.md note 1) one check interval before the period closes.
+	e.finalReportTimer.Cancel()
+	finalAt := sim.Time(m.EndAt) - e.params.CheckInterval
+	e.finalReportTimer = e.k.At(finalAt, e.report)
+	if e.OnPeriodStart != nil {
+		e.OnPeriodStart(m.Index)
+	}
+	e.drain()
+}
+
+func (e *Engine) handleReportOn(_ *rdma.Node, body any) {
+	m, ok := body.(reportOnMsg)
+	if !ok || e.crashed || m.Index != e.periodIndex || e.reporting {
+		return
+	}
+	e.reporting = true
+	e.report()
+	t, err := e.k.Every(e.params.ReportInterval, e.params.ReportInterval, func() {
+		// Suppress periodic reports in the final check interval: the
+		// scheduled end-of-period report covers it, and a tick racing the
+		// next period's token push must not overwrite the monitor's
+		// freshly seeded report slot with stale last-period statistics.
+		if e.reporting && e.k.Now() < e.periodEnd-e.params.CheckInterval {
+			e.report()
+		}
+	})
+	if err == nil {
+		e.reportTicker = t
+	}
+}
+
+func (e *Engine) handleAlert(_ *rdma.Node, body any) {
+	m, ok := body.(alertMsg)
+	if !ok {
+		return
+	}
+	if e.OnAlert != nil {
+		e.OnAlert(m.ConsecutivePeriods)
+	}
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/metrics"
+	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/trace"
+)
+
+// monitorClient is the monitor's bookkeeping for one admitted client.
+type monitorClient struct {
+	id          int
+	node        *rdma.Node
+	reservation int64
+	qp          *rdma.QP // data node -> client, for token pushes
+	active      bool
+	lastUsage   int64
+
+	// Failure detection: lastWord is the report slot's content at the
+	// previous period end; stalePeriods counts consecutive periods
+	// without any slot change; suspected marks a client presumed crashed.
+	lastWord     uint64
+	stalePeriods int
+	suspected    bool
+	// violated marks that Definition 2's runtime local-capacity
+	// condition failed for this client in the current period.
+	violated bool
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithoutConversion disables step T2 (token conversion), producing the
+// paper's "Basic Haechi" comparison system: unused reservation tokens are
+// simply wasted.
+func WithoutConversion() MonitorOption {
+	return func(m *Monitor) { m.convert = false }
+}
+
+// WithAlertAfter sets how many consecutive under-use periods trigger an
+// over-reservation alert to the client (0 disables alerts).
+func WithAlertAfter(periods int) MonitorOption {
+	return func(m *Monitor) { m.alertAfter = periods }
+}
+
+// WithFailureDetection makes the monitor treat a client as failed after
+// its report slot has been static for gracePeriods consecutive QoS
+// periods (its end-of-period report is the heartbeat): the client stops
+// receiving reservation tokens and its reservation returns to the pool
+// until it reports again. 0 disables detection. This extends the paper
+// (which assumes well-behaved clients) to tolerate client crashes without
+// stranding reserved capacity.
+func WithFailureDetection(gracePeriods int) MonitorOption {
+	return func(m *Monitor) { m.failureGrace = gracePeriods }
+}
+
+// Monitor is the data-node QoS monitor (Section II-E): per-period token
+// generation and dispatch, global-pool monitoring, token conversion, and
+// adaptive capacity estimation.
+type Monitor struct {
+	params Params
+	k      *sim.Kernel
+	node   *rdma.Node
+	region *rdma.Region
+	loop   *rdma.QP // loopback verbs on the token cell
+	est    *CapacityEstimator
+	adm    *AdmissionController
+
+	convert      bool
+	alertAfter   int
+	failureGrace int
+
+	clients []*monitorClient
+
+	running       bool
+	periodIndex   int
+	periodStart   sim.Time
+	omega         int64
+	sumRes        int64
+	initialGlobal int64
+	reporting     bool
+
+	checkTicker *sim.Ticker
+	periodTimer *sim.Timer
+
+	// OmegaSeries records the estimated capacity per period; UsageSeries
+	// the reported total completions per period.
+	OmegaSeries metrics.Series
+	UsageSeries metrics.Series
+	// ConversionCount counts token-conversion writes (step T2).
+	ConversionCount uint64
+	// ReportSignals counts report-on broadcasts (step S3).
+	ReportSignals uint64
+	// FailureSuspicions and FailureRecoveries count failure-detection
+	// transitions (WithFailureDetection).
+	FailureSuspicions uint64
+	FailureRecoveries uint64
+	// LocalViolations counts client-periods in which Definition 2's
+	// runtime local-capacity condition failed (the client could no
+	// longer reach its reservation at rate C_L): a diagnostic for
+	// burst-pattern reservation misses (Figs. 8(b), 13).
+	LocalViolations uint64
+
+	// Trace, when non-nil, records protocol events.
+	Trace *trace.Recorder
+}
+
+// DebugConversion enables conversion tracing (diagnostics only).
+var DebugConversion = false
+
+// NewMonitor creates a monitor on the data node. est provides the
+// capacity estimate (from profiling); adm enforces admission control.
+func NewMonitor(params Params, node *rdma.Node, est *CapacityEstimator, adm *AdmissionController, opts ...MonitorOption) (*Monitor, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil || est == nil || adm == nil {
+		return nil, fmt.Errorf("core: NewMonitor requires node, estimator and admission controller")
+	}
+	if node.Kind() != rdma.ServerNode {
+		return nil, fmt.Errorf("core: monitor must run on a server node, got %v", node.Kind())
+	}
+	region, err := node.RegisterRegion(QoSRegionName, reportTableOff+params.MaxClients*reportSlotSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: registering QoS region: %w", err)
+	}
+	loop, err := node.Fabric().Connect(node, node)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating loopback QP: %w", err)
+	}
+	m := &Monitor{
+		params:  params,
+		k:       node.Fabric().Kernel(),
+		node:    node,
+		region:  region,
+		loop:    loop,
+		est:     est,
+		adm:     adm,
+		convert: true,
+	}
+	m.OmegaSeries.Name = "omega"
+	m.UsageSeries.Name = "usage"
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// QoSRegion returns the region holding the token cell and report table.
+func (m *Monitor) QoSRegion() *rdma.Region { return m.region }
+
+// Estimator returns the capacity estimator.
+func (m *Monitor) Estimator() *CapacityEstimator { return m.est }
+
+// PeriodIndex returns the current period number.
+func (m *Monitor) PeriodIndex() int { return m.periodIndex }
+
+// Admit runs admission control for clientNode with the given reservation
+// (step T1's registration) and, on success, returns the client's grant.
+func (m *Monitor) Admit(clientNode *rdma.Node, reservation int64) (ClientGrant, error) {
+	if clientNode == nil {
+		return ClientGrant{}, fmt.Errorf("core: Admit requires a client node")
+	}
+	id := len(m.clients)
+	if id >= m.params.MaxClients {
+		return ClientGrant{}, fmt.Errorf("core: report table full (%d clients)", id)
+	}
+	if err := m.adm.Admit(id, reservation); err != nil {
+		return ClientGrant{}, err
+	}
+	qp, err := m.node.Fabric().Connect(m.node, clientNode)
+	if err != nil {
+		m.adm.Release(id)
+		return ClientGrant{}, err
+	}
+	m.clients = append(m.clients, &monitorClient{
+		id:          id,
+		node:        clientNode,
+		reservation: reservation,
+		qp:          qp,
+		active:      true,
+	})
+	return ClientGrant{ID: id, ServerNode: m.node, QoSRegion: m.region}, nil
+}
+
+// Remove deactivates a client: it stops receiving tokens and its
+// reservation returns to the pool at the next period.
+func (m *Monitor) Remove(id int) error {
+	if id < 0 || id >= len(m.clients) || !m.clients[id].active {
+		return fmt.Errorf("core: no active client %d", id)
+	}
+	m.clients[id].active = false
+	m.adm.Release(id)
+	return nil
+}
+
+// SetReservation changes a client's reservation starting next period,
+// re-running admission control for the delta.
+func (m *Monitor) SetReservation(id int, reservation int64) error {
+	if id < 0 || id >= len(m.clients) || !m.clients[id].active {
+		return fmt.Errorf("core: no active client %d", id)
+	}
+	m.adm.Release(id)
+	if err := m.adm.Admit(id, reservation); err != nil {
+		// Restore the previous reservation on failure.
+		_ = m.adm.Admit(id, m.clients[id].reservation)
+		return err
+	}
+	m.clients[id].reservation = reservation
+	return nil
+}
+
+// Start begins the first QoS period and the check-interval loop.
+func (m *Monitor) Start() error {
+	if m.running {
+		return fmt.Errorf("core: monitor already started")
+	}
+	m.running = true
+	t, err := m.k.Every(m.params.CheckInterval, m.params.CheckInterval, m.check)
+	if err != nil {
+		return err
+	}
+	m.checkTicker = t
+	m.startPeriod()
+	return nil
+}
+
+// Stop halts the period loop.
+func (m *Monitor) Stop() {
+	m.running = false
+	if m.checkTicker != nil {
+		m.checkTicker.Stop()
+	}
+	m.periodTimer.Cancel()
+}
+
+// startPeriod implements Fig. 5 steps T1: generate Omega tokens, push
+// reservations, initialize the global pool.
+func (m *Monitor) startPeriod() {
+	m.periodIndex++
+	m.periodStart = m.k.Now()
+	m.omega = m.est.Current()
+	m.sumRes = 0
+	for _, c := range m.clients {
+		if c.active && !c.suspected {
+			m.sumRes += c.reservation
+		}
+	}
+	m.initialGlobal = m.omega - m.sumRes
+	if m.initialGlobal < 0 {
+		// The estimate dropped below the admitted reservations (e.g.
+		// under injected congestion); reservations keep their tokens and
+		// best-effort capacity is zero.
+		m.initialGlobal = 0
+	}
+	m.reporting = false
+	m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.PeriodStart, Actor: "monitor",
+		A: int64(m.periodIndex), B: m.omega})
+
+	// Seed the report table with (R_i, 0) so conversion before the first
+	// client report is conservative, then publish the pool and push
+	// tokens.
+	for _, c := range m.clients {
+		if !c.active || c.suspected {
+			continue
+		}
+		seed := PackReport(clampUint32(c.reservation), 0)
+		_ = m.region.PutUint64(reportSlotOffset(c.id), seed)
+		// The seed doubles as the liveness baseline: any report this
+		// period makes the slot differ from it (suspected clients keep
+		// their previous baseline so a late report flips the slot).
+		c.lastWord = seed
+		c.violated = false
+	}
+	_ = m.loop.WriteUint64(m.region, globalTokenOff, uint64(m.initialGlobal), nil)
+
+	endAt := m.periodStart + m.params.Period
+	for _, c := range m.clients {
+		if !c.active || c.suspected {
+			continue
+		}
+		_ = c.qp.Send(rdma.Message{Kind: msgPeriodStart, Body: periodStartMsg{
+			Index:       m.periodIndex,
+			Reservation: c.reservation,
+			EndAt:       int64(endAt),
+			Convert:     m.convert,
+		}}, periodStartMsgSize, nil)
+		m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.TokenPush, Actor: "monitor",
+			A: int64(c.id), B: c.reservation})
+	}
+	m.periodTimer = m.k.At(endAt, m.endPeriod)
+}
+
+// check implements Fig. 5 steps S1-S3 and T2 each check interval: sample
+// the pool with a loop-back atomic; on the first decrease signal
+// reporting; while reporting, convert unused reservations.
+func (m *Monitor) check() {
+	if !m.running || m.periodIndex == 0 {
+		return
+	}
+	pi := m.periodIndex
+	_ = m.loop.FetchAdd(m.region, globalTokenOff, 0, func(old int64) {
+		if pi != m.periodIndex || !m.running {
+			return
+		}
+		if !m.reporting && old < m.initialGlobal {
+			m.reporting = true
+			m.ReportSignals++
+			m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.ReportSignal, Actor: "monitor",
+				A: int64(pi)})
+			for _, c := range m.clients {
+				if c.active {
+					_ = c.qp.Send(rdma.Message{Kind: msgReportOn, Body: reportOnMsg{Index: pi}}, reportOnMsgSize, nil)
+				}
+			}
+			// Do not cap on this wake-up: the report slots still hold the
+			// period-start seeds (R_i, 0), which would wildly overstate L
+			// when reporting starts late in the period. Fresh reports
+			// land before the next check interval.
+			return
+		}
+		if m.reporting {
+			m.detectLocalViolations()
+			if m.convert {
+				m.capPool(old)
+			}
+		}
+	})
+}
+
+// detectLocalViolations evaluates Definition 2's runtime condition for
+// each client from its latest report: the residual reservation must be
+// servable at the per-client rate C_L in the remaining period,
+// R_i − N_i(t) <= (T−t)·C_L. A violation means the client can no longer
+// meet its reservation this period no matter what the schedulers do —
+// the mechanism behind the paper's Experiment 1C / Set 3 misses. Each
+// client is flagged at most once per period.
+func (m *Monitor) detectLocalViolations() {
+	elapsed := float64(m.k.Now()-m.periodStart) / float64(m.params.Period)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if elapsed > 1 {
+		elapsed = 1
+	}
+	for _, c := range m.clients {
+		if !c.active || c.suspected || c.violated {
+			continue
+		}
+		w, err := m.region.Uint64(reportSlotOffset(c.id))
+		if err != nil {
+			continue
+		}
+		residual, completed := UnpackReport(w)
+		// Definition 2 guarantees only continuously backlogged clients; a
+		// client still holding reservation tokens has insufficient demand
+		// (it is yielding), so a completion shortfall is its own choice,
+		// not a capacity violation.
+		if int64(residual) > c.reservation/10 {
+			continue
+		}
+		if v := m.adm.LocalViolation(c.reservation, int64(completed), elapsed); v > 0 {
+			c.violated = true
+			m.LocalViolations++
+			m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.LocalViolation,
+				Actor: "monitor", A: int64(c.id), B: v})
+		}
+	}
+}
+
+// capPool is step T2's safety bound. Token conversion itself is
+// client-driven in this implementation — engines return yielded tokens
+// with FETCH_ADD(+y), so the pool can only grow by genuinely released
+// reservation capacity (Section II-B: "clients ... return their
+// reservation tokens to the global pool"). The monitor enforces the
+// paper's invariant that "the total number of tokens at any time is
+// limited to the server capacity for the rest of the QoS period" by
+// capping the pool at max{Omega*(T-t)/T - L, 0}, with L the sum of
+// reported residual reservations. The cap only ever lowers the cell — a
+// rewrite that raises it would re-mint tokens already claimed (see
+// DESIGN.md).
+func (m *Monitor) capPool(current int64) {
+	elapsed := m.k.Now() - m.periodStart
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if elapsed > m.params.Period {
+		elapsed = m.params.Period
+	}
+	remaining := float64(m.omega) * float64(m.params.Period-elapsed) / float64(m.params.Period)
+	var outstanding int64
+	for _, c := range m.clients {
+		if !c.active || c.suspected {
+			continue
+		}
+		w, err := m.region.Uint64(reportSlotOffset(c.id))
+		if err != nil {
+			continue
+		}
+		residual, _ := UnpackReport(w)
+		outstanding += int64(residual)
+	}
+	bound := int64(remaining) - outstanding
+	if bound < 0 {
+		bound = 0
+	}
+	if current > bound {
+		m.ConversionCount++
+		m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.PoolCap, Actor: "monitor",
+			A: current, B: bound})
+		_ = m.loop.WriteUint64(m.region, globalTokenOff, uint64(bound), nil)
+	}
+}
+
+// endPeriod is step T3: harvest the final reports, recalibrate capacity
+// (Algorithm 1), and roll into the next period.
+func (m *Monitor) endPeriod() {
+	if !m.running {
+		return
+	}
+	var total int64
+	used := make(map[int]int64, len(m.clients))
+	reserved := make(map[int]int64, len(m.clients))
+	for _, c := range m.clients {
+		if !c.active {
+			continue
+		}
+		w, err := m.region.Uint64(reportSlotOffset(c.id))
+		if err != nil {
+			continue
+		}
+		m.observeLiveness(c, w)
+		if c.suspected {
+			continue
+		}
+		_, completed := UnpackReport(w)
+		c.lastUsage = int64(completed)
+		used[c.id] = int64(completed)
+		reserved[c.id] = c.reservation
+		total += int64(completed)
+	}
+	m.UsageSeries.Add(m.k.Now(), float64(total))
+	m.OmegaSeries.Add(m.k.Now(), float64(m.omega))
+	m.est.Update(total)
+	m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.CapacityUpdate, Actor: "monitor",
+		A: total, B: m.est.Current()})
+	if m.alertAfter > 0 {
+		for _, id := range m.est.ObserveClientUsage(used, reserved, m.alertAfter) {
+			c := m.clients[id]
+			_ = c.qp.Send(rdma.Message{Kind: msgAlert, Body: alertMsg{
+				ConsecutivePeriods: m.est.UnderuseStreak(id),
+			}}, alertMsgSize, nil)
+		}
+	} else {
+		m.est.ObserveClientUsage(used, reserved, 0)
+	}
+	m.startPeriod()
+}
+
+// ClientUsage returns the last period's reported completions for a client.
+func (m *Monitor) ClientUsage(id int) int64 {
+	if id < 0 || id >= len(m.clients) {
+		return 0
+	}
+	return m.clients[id].lastUsage
+}
+
+// GlobalTokens reads the pool cell locally (diagnostics only).
+func (m *Monitor) GlobalTokens() int64 {
+	v, _ := m.region.Int64(globalTokenOff)
+	return v
+}
+
+// observeLiveness updates failure detection from a client's report slot
+// at period end. The monitor re-seeds each live client's slot at period
+// start, so any report during the period leaves the slot different from
+// the seed; a slot still equal to its baseline is a missed heartbeat. A
+// suspected client that reports again is immediately reinstated.
+func (m *Monitor) observeLiveness(c *monitorClient, word uint64) {
+	if m.failureGrace <= 0 {
+		return
+	}
+	if word != c.lastWord {
+		c.lastWord = word
+		c.stalePeriods = 0
+		if c.suspected {
+			c.suspected = false
+			m.FailureRecoveries++
+			m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.FailureRecover, Actor: "monitor",
+				A: int64(c.id)})
+		}
+		return
+	}
+	c.stalePeriods++
+	if !c.suspected && c.stalePeriods >= m.failureGrace {
+		c.suspected = true
+		m.FailureSuspicions++
+		m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.FailureSuspect, Actor: "monitor",
+			A: int64(c.id)})
+	}
+}
+
+// Suspected reports whether failure detection currently considers the
+// client crashed.
+func (m *Monitor) Suspected(id int) bool {
+	if id < 0 || id >= len(m.clients) {
+		return false
+	}
+	return m.clients[id].suspected
+}

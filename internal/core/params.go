@@ -1,0 +1,130 @@
+// Package core implements Haechi, the paper's token-based QoS mechanism
+// for one-sided I/O (Section II): a client-side QoS Engine that regulates
+// I/Os with reservation tokens and batched global-token claims, and a
+// data-node QoS Monitor that dispatches reservation tokens, converts
+// unused reservations into global tokens, and adaptively re-estimates
+// capacity (Algorithm 1). Admission control enforces the aggregate (C_G)
+// and local (C_L) capacity constraints of Definition 2.
+//
+// All remote interactions use the verbs in internal/rdma exactly as the
+// paper prescribes: reservation tokens are pushed with two-sided SENDs at
+// period start, global tokens are claimed with one-sided FETCH_ADD,
+// client reports are silent one-sided 8-byte WRITEs, and the monitor
+// samples and rewrites the global-token cell with loop-back atomics.
+package core
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// Params are the Haechi protocol constants. NewDefaultParams returns the
+// paper's implementation values.
+type Params struct {
+	// Period is the QoS period length T (1 s in the paper).
+	Period sim.Time
+	// Tick is the client token-management update interval delta (1 ms).
+	Tick sim.Time
+	// CheckInterval is the monitor's wake-up interval (1 ms).
+	CheckInterval sim.Time
+	// ReportInterval is the client reporting interval once reporting is
+	// signalled (1 ms).
+	ReportInterval sim.Time
+	// Batch is B, the number of global tokens claimed per FETCH_ADD
+	// (1000 in the paper).
+	Batch int64
+	// HistoryWindow is M, the capacity-history buffer length of
+	// Algorithm 1.
+	HistoryWindow int
+	// IncrementFraction sets eta, Algorithm 1's capacity probe step, as a
+	// fraction of the profiled capacity.
+	IncrementFraction float64
+	// SigmaFactor is the multiplier on sigma for the capacity lower
+	// bound Omega_prof - 3*sigma.
+	SigmaFactor float64
+	// MaxClients bounds the report table size on the data node.
+	MaxClients int
+	// SendQueueDepth is the engine's RNIC send-queue depth: how many
+	// token-backed I/Os may be outstanding at once (the paper's clients
+	// keep 64 requests outstanding). Tokens are consumed when an I/O is
+	// posted, so the reservation residual tracks started work plus at
+	// most this many in-flight operations.
+	SendQueueDepth int
+}
+
+// NewDefaultParams returns the constants used in the paper's
+// implementation (Section II-D/E).
+func NewDefaultParams() Params {
+	return Params{
+		Period:            sim.Second,
+		Tick:              sim.Millisecond,
+		CheckInterval:     sim.Millisecond,
+		ReportInterval:    sim.Millisecond,
+		Batch:             1000,
+		HistoryWindow:     10,
+		IncrementFraction: 0.005,
+		SigmaFactor:       3,
+		MaxClients:        64,
+		SendQueueDepth:    64,
+	}
+}
+
+// Scaled returns params with the period (and the intervals, keeping their
+// ratio to the period) divided by factor; used with rdma.Config.Scaled to
+// run fast tests with identical protocol structure.
+func (p Params) Scaled(factor float64) Params {
+	if factor <= 0 {
+		return p
+	}
+	s := p
+	s.Period = sim.Time(float64(p.Period) / factor)
+	s.Tick = sim.Time(float64(p.Tick) / factor)
+	s.CheckInterval = sim.Time(float64(p.CheckInterval) / factor)
+	s.ReportInterval = sim.Time(float64(p.ReportInterval) / factor)
+	if s.Tick <= 0 {
+		s.Tick = 1
+	}
+	if s.CheckInterval <= 0 {
+		s.CheckInterval = 1
+	}
+	if s.ReportInterval <= 0 {
+		s.ReportInterval = 1
+	}
+	return s
+}
+
+// Validate reports the first invalid parameter, or nil.
+func (p Params) Validate() error {
+	if p.Period <= 0 {
+		return fmt.Errorf("core: Period must be positive, got %v", p.Period)
+	}
+	if p.Tick <= 0 || p.Tick > p.Period {
+		return fmt.Errorf("core: Tick must be in (0, Period], got %v", p.Tick)
+	}
+	if p.CheckInterval <= 0 || p.CheckInterval > p.Period {
+		return fmt.Errorf("core: CheckInterval must be in (0, Period], got %v", p.CheckInterval)
+	}
+	if p.ReportInterval <= 0 || p.ReportInterval > p.Period {
+		return fmt.Errorf("core: ReportInterval must be in (0, Period], got %v", p.ReportInterval)
+	}
+	if p.Batch <= 0 {
+		return fmt.Errorf("core: Batch must be positive, got %d", p.Batch)
+	}
+	if p.HistoryWindow <= 0 {
+		return fmt.Errorf("core: HistoryWindow must be positive, got %d", p.HistoryWindow)
+	}
+	if p.IncrementFraction <= 0 || p.IncrementFraction > 1 {
+		return fmt.Errorf("core: IncrementFraction must be in (0,1], got %v", p.IncrementFraction)
+	}
+	if p.SigmaFactor < 0 {
+		return fmt.Errorf("core: SigmaFactor must be non-negative, got %v", p.SigmaFactor)
+	}
+	if p.MaxClients <= 0 {
+		return fmt.Errorf("core: MaxClients must be positive, got %d", p.MaxClients)
+	}
+	if p.SendQueueDepth <= 0 {
+		return fmt.Errorf("core: SendQueueDepth must be positive, got %d", p.SendQueueDepth)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The property tests run randomized mini-clusters through the full
+// protocol and check the invariants that hold for ANY workload:
+//
+//  1. token gating: per-period completions never exceed the token budget
+//     (plus bounded period-boundary carry-over);
+//  2. reservation guarantee: feasible, continuously backlogged clients
+//     receive their reservation (within the scaled-harness tolerance);
+//  3. work conservation: offered demand is served up to capacity.
+
+type propScenario struct {
+	res    []int64
+	demand []int
+}
+
+// genScenario draws a random feasible scenario: 3-8 clients, reservations
+// within both admission constraints with headroom for the scaled regime.
+func genScenario(rng *rand.Rand) propScenario {
+	n := 3 + rng.Intn(6)
+	res := make([]int64, n)
+	demand := make([]int, n)
+	// Keep the total at <= 75% of capacity and each reservation <= 60% of
+	// C_L so feasibility is unambiguous (away from the burst edge).
+	budget := int64(0.75 * testServerC)
+	for i := range res {
+		maxR := budget / int64(n-i)
+		if cap := int64(0.6 * testClientC); maxR > cap {
+			maxR = cap
+		}
+		if maxR < 0 {
+			maxR = 0
+		}
+		r := rng.Int63n(maxR + 1)
+		res[i] = r
+		budget -= r
+		demand[i] = int(r) + rng.Intn(2000)
+	}
+	return propScenario{res: res, demand: demand}
+}
+
+func runScenario(t *testing.T, sc propScenario) [][]uint64 {
+	t.Helper()
+	demand := func(client, period int) int { return sc.demand[client] }
+	h := newQoSHarness(t, testParams(), sc.res, demand)
+	return h.run(3)
+}
+
+func TestPropertyTokenGating(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 12; trial++ {
+		sc := genScenario(rng)
+		logs := runScenario(t, sc)
+		for p := 1; p < 3; p++ {
+			var sum int64
+			for _, log := range logs {
+				if p < len(log) {
+					sum += int64(log[p])
+				}
+			}
+			slack := int64(len(sc.res)*testParams().SendQueueDepth) + 2*int64(testParams().Batch)
+			if sum > testServerC+slack {
+				t.Fatalf("trial %d period %d: %d completions exceed budget %d (+%d slack); scenario %+v",
+					trial, p, sum, testServerC, slack, sc)
+			}
+		}
+	}
+}
+
+func TestPropertyReservationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		sc := genScenario(rng)
+		logs := runScenario(t, sc)
+		for i, log := range logs {
+			if sc.res[i] == 0 {
+				continue
+			}
+			for p := 1; p < len(log); p++ {
+				want := min64(sc.res[i], int64(sc.demand[i]))
+				if float64(log[p]) < 0.95*float64(want) {
+					t.Fatalf("trial %d client %d period %d: %d < guaranteed %d; scenario %+v",
+						trial, i, p, log[p], want, sc)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		sc := genScenario(rng)
+		var offered int64
+		for _, d := range sc.demand {
+			offered += int64(d)
+		}
+		logs := runScenario(t, sc)
+		var served int64
+		periods := 0
+		for _, log := range logs {
+			for p := 1; p < len(log); p++ {
+				served += int64(log[p])
+			}
+			if len(log)-1 > periods {
+				periods = len(log) - 1
+			}
+		}
+		perPeriod := float64(served) / float64(periods)
+		bound := float64(min64(offered, testServerC))
+		if perPeriod < 0.90*bound {
+			t.Fatalf("trial %d: served %.0f/period < 90%% of min(demand,capacity)=%.0f; scenario %+v",
+				trial, perPeriod, bound, sc)
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package core
+
+// The client report is a single 64-bit word written silently (one-sided
+// WRITE) to the client's slot in the monitor's QoS region, exactly as in
+// Section II-D: "the number of remaining reservation I/Os for the rest of
+// the period and the current value of N_i ... a silent one-sided RDMA
+// write of a single 64-bit value". The residual occupies the high 32
+// bits, the completed count the low 32 bits.
+
+// PackReport encodes (residual reservation, completed I/Os this period)
+// into the 64-bit report word.
+func PackReport(residual, completed uint32) uint64 {
+	return uint64(residual)<<32 | uint64(completed)
+}
+
+// UnpackReport decodes a report word.
+func UnpackReport(v uint64) (residual, completed uint32) {
+	return uint32(v >> 32), uint32(v)
+}
+
+// clampUint32 saturates a non-negative int64 into uint32 range.
+func clampUint32(v int64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFFFFFFFF {
+		return 0xFFFFFFFF
+	}
+	return uint32(v)
+}
+
+// QoS region layout on the data node: the global-token cell followed by
+// one report slot per admitted client.
+const (
+	// QoSRegionName is the registered region holding the token cell and
+	// report table.
+	QoSRegionName = "haechi/qos"
+	// globalTokenOff is the byte offset of the global token cell.
+	globalTokenOff = 0
+	// reportTableOff is the byte offset of client 0's report slot.
+	reportTableOff = 8
+	// reportSlotSize is the byte size of one report slot.
+	reportSlotSize = 8
+)
+
+// reportSlotOffset returns the byte offset of client id's report slot.
+func reportSlotOffset(id int) int { return reportTableOff + id*reportSlotSize }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/cluster"
+	"github.com/haechi-qos/haechi/internal/kvstore"
+)
+
+// Options control experiment size. The defaults run each experiment at
+// 1/10 capacity with short windows — fast, with the paper's shapes
+// intact. cmd/haechibench exposes flags for full-scale, full-length runs.
+type Options struct {
+	// Scale divides all fabric rates (1 = the paper's full rates). All
+	// reported numbers are multiplied back by Scale so they read in
+	// paper units.
+	Scale float64
+	// WarmupPeriods and MeasurePeriods set the run windows (the paper
+	// uses 30 + 30 displayed of 120 measured).
+	WarmupPeriods  int
+	MeasurePeriods int
+	// Clients is the number of client nodes (the paper's testbed has 10).
+	Clients int
+	// Records is the KV store population (the paper loads 1M 4 KB
+	// records; the default keeps memory modest — record count does not
+	// influence the timing model).
+	Records int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// NewDefaultOptions returns the fast defaults.
+func NewDefaultOptions() Options {
+	return Options{
+		Scale:          10,
+		WarmupPeriods:  2,
+		MeasurePeriods: 5,
+		Clients:        10,
+		Records:        4096,
+		Seed:           42,
+	}
+}
+
+// PaperOptions returns the paper's dimensions: full rates, 30 warm-up
+// periods and 30 displayed periods, 10 clients.
+func PaperOptions() Options {
+	return Options{
+		Scale:          1,
+		WarmupPeriods:  30,
+		MeasurePeriods: 30,
+		Clients:        10,
+		Records:        1 << 16,
+		Seed:           42,
+	}
+}
+
+// validate normalizes zero values.
+func (o Options) validate() (Options, error) {
+	if o.Scale == 0 {
+		o.Scale = 10
+	}
+	if o.Scale < 1 {
+		return o, fmt.Errorf("experiments: Scale must be >= 1, got %v", o.Scale)
+	}
+	if o.WarmupPeriods == 0 {
+		o.WarmupPeriods = 2
+	}
+	if o.MeasurePeriods == 0 {
+		o.MeasurePeriods = 5
+	}
+	if o.Clients == 0 {
+		o.Clients = 10
+	}
+	if o.Records == 0 {
+		o.Records = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o, nil
+}
+
+// baseConfig builds the cluster config for this option set.
+func (o Options) baseConfig(mode cluster.Mode) cluster.Config {
+	cfg := cluster.NewDefaultConfig()
+	cfg.Mode = mode
+	cfg.Scale = o.Scale
+	storeCap := 1
+	for storeCap < o.Records {
+		storeCap <<= 1
+	}
+	cfg.Store = kvstore.Options{Capacity: storeCap, RecordSize: 4096}
+	cfg.Records = o.Records
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// capacityPerPeriod returns the scaled C_G per QoS period (the token
+// budget the paper's experiments size reservations against: 1570K at
+// full scale).
+func (o Options) capacityPerPeriod() int64 {
+	return int64(1_570_000 / o.Scale)
+}
+
+// localCapacityPerPeriod returns the scaled C_L per period (400K at full
+// scale).
+func (o Options) localCapacityPerPeriod() int64 {
+	return int64(400_000 / o.Scale)
+}

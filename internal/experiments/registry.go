@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func runs one experiment.
+type Func func(Options) (*Report, error)
+
+// registry maps experiment ids to their functions.
+var registry = map[string]Func{
+	"config":      TableI,
+	"fig6":        Fig6,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
+	"fig10":       Fig10and11,
+	"fig12":       Fig12,
+	"fig13":       Fig13to15,
+	"fig16":       Fig16and17,
+	"fig18":       Fig18and19,
+	"ablation":    Ablation,
+	"limits":      Limits,
+	"multiserver": MultiServer,
+}
+
+// aliases map alternative names (paper figure/experiment numbering) onto
+// registry ids.
+var aliases = map[string]string{
+	"tablei": "config",
+	"1a":     "fig6",
+	"1b":     "fig7",
+	"1c":     "fig8",
+	"2a":     "fig9",
+	"2b":     "fig10",
+	"fig11":  "fig10",
+	"2c":     "fig12",
+	"3":      "fig13",
+	"fig14":  "fig13",
+	"fig15":  "fig13",
+	"4over":  "fig16",
+	"fig17":  "fig16",
+	"4under": "fig18",
+	"fig19":  "fig18",
+}
+
+// Order is the canonical execution order for -all runs.
+var Order = []string{
+	"config", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig16", "fig18", "ablation", "limits", "multiserver",
+}
+
+// Lookup resolves an experiment id (or alias) to its function.
+func Lookup(id string) (Func, error) {
+	if canonical, ok := aliases[id]; ok {
+		id = canonical
+	}
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, Known())
+	}
+	return f, nil
+}
+
+// Known lists all experiment ids.
+func Known() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (*Report, error) {
+	f, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return f(o)
+}
+
+// RunAll executes every experiment in Order.
+func RunAll(o Options) ([]*Report, error) {
+	var out []*Report
+	for _, id := range Order {
+		rep, err := Run(id, o)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,283 @@
+// Package kvstore implements the memory-resident key-value store the
+// paper's data node serves (Section II: "The server (data node) implements
+// a key-value store using a protocol like Telepathy with one-sided I/Os").
+//
+// Layout on the data node:
+//
+//   - an index region of 16-byte slots (8-byte key, 8-byte state word with
+//     an occupied bit and the record's data offset), open addressing with
+//     linear probing;
+//   - a data region of fixed-size records (4 KB by default, the size used
+//     throughout the paper's evaluation).
+//
+// Clients locate a record with one-sided reads of index slots, cache the
+// key -> offset mapping (a location cache in the style of FaRM/Telepathy),
+// and from then on a GET is exactly one silent one-sided 4 KB READ — the
+// access pattern whose QoS Haechi manages. A two-sided RPC path (GET/PUT
+// through the server CPU) is provided both for comparison experiments and
+// for mutations.
+package kvstore
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/rdma"
+)
+
+const (
+	// slotSize is the byte size of one index slot.
+	slotSize = 16
+	// occupiedBit marks a slot as holding a record.
+	occupiedBit = uint64(1) << 63
+
+	// IndexRegionName and DataRegionName are the registered-region names
+	// clients attach to.
+	IndexRegionName = "kv/index"
+	DataRegionName  = "kv/data"
+
+	// Message kinds for the two-sided RPC path.
+	msgGet     = "kv.get"
+	msgGetResp = "kv.get.resp"
+	msgPut     = "kv.put"
+	msgPutResp = "kv.put.resp"
+)
+
+// hashKey mixes a key with the splitmix64 finalizer; both store and
+// clients must agree on it to compute slot positions.
+func hashKey(key uint64) uint64 {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Options configures a Store.
+type Options struct {
+	// Capacity is the number of record slots (rounded up to a power of
+	// two). The paper populates 1M records; experiments here default to a
+	// smaller table because table size does not influence the fabric
+	// timing model (see DESIGN.md).
+	Capacity int
+	// RecordSize is the value size in bytes; the paper uses 4 KB.
+	RecordSize int
+}
+
+// NewDefaultOptions returns a 64Ki-record store of 4 KB values.
+func NewDefaultOptions() Options {
+	return Options{Capacity: 1 << 16, RecordSize: rdma.DataIOSize}
+}
+
+// Store is the server-side key-value store.
+type Store struct {
+	node    *rdma.Node
+	opts    Options
+	mask    uint64
+	index   *rdma.Region
+	data    *rdma.Region
+	count   int
+	puts    uint64
+	getRPCs uint64
+	scratch []byte
+}
+
+// NewStore registers the store's regions on node and, if disp is non-nil,
+// installs the two-sided RPC handlers.
+func NewStore(node *rdma.Node, disp *rdma.Dispatcher, opts Options) (*Store, error) {
+	if opts.Capacity <= 0 {
+		return nil, fmt.Errorf("kvstore: capacity must be positive, got %d", opts.Capacity)
+	}
+	if opts.RecordSize <= 0 {
+		return nil, fmt.Errorf("kvstore: record size must be positive, got %d", opts.RecordSize)
+	}
+	cap := 1
+	for cap < opts.Capacity {
+		cap <<= 1
+	}
+	opts.Capacity = cap
+
+	index, err := node.RegisterRegion(IndexRegionName, cap*slotSize)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: registering index: %w", err)
+	}
+	data, err := node.RegisterRegion(DataRegionName, cap*opts.RecordSize)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: registering data: %w", err)
+	}
+	s := &Store{
+		node:  node,
+		opts:  opts,
+		mask:  uint64(cap - 1),
+		index: index,
+		data:  data,
+	}
+	if disp != nil {
+		if err := disp.Handle(msgGet, s.handleGet); err != nil {
+			return nil, err
+		}
+		if err := disp.Handle(msgPut, s.handlePut); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Node returns the data node hosting the store.
+func (s *Store) Node() *rdma.Node { return s.node }
+
+// Options returns the store's configuration (with Capacity rounded up).
+func (s *Store) Options() Options { return s.opts }
+
+// Len returns the number of stored records.
+func (s *Store) Len() int { return s.count }
+
+// IndexRegion returns the index region capability for client attach.
+func (s *Store) IndexRegion() *rdma.Region { return s.index }
+
+// DataRegion returns the data region capability for client attach.
+func (s *Store) DataRegion() *rdma.Region { return s.data }
+
+// slotState reads the state word of slot i.
+func (s *Store) slotState(i uint64) (key uint64, state uint64) {
+	off := int(i) * slotSize
+	key, _ = s.index.Uint64(off)
+	state, _ = s.index.Uint64(off + 8)
+	return key, state
+}
+
+// findSlot returns the slot index holding key, or the first free slot on
+// its probe path. ok reports whether the key was found.
+func (s *Store) findSlot(key uint64) (slot uint64, ok bool, free uint64, hasFree bool) {
+	start := hashKey(key) & s.mask
+	for probe := uint64(0); probe <= s.mask; probe++ {
+		i := (start + probe) & s.mask
+		k, state := s.slotState(i)
+		if state&occupiedBit == 0 {
+			return 0, false, i, true
+		}
+		if k == key {
+			return i, true, 0, false
+		}
+	}
+	return 0, false, 0, false
+}
+
+// Put stores value under key, server-side (used to populate the store and
+// by the PUT RPC). The value is copied.
+func (s *Store) Put(key uint64, value []byte) error {
+	if len(value) > s.opts.RecordSize {
+		return fmt.Errorf("kvstore: value of %d bytes exceeds record size %d", len(value), s.opts.RecordSize)
+	}
+	slot, ok, free, hasFree := s.findSlot(key)
+	if !ok {
+		if !hasFree {
+			return fmt.Errorf("kvstore: table full (%d records)", s.count)
+		}
+		slot = free
+		s.count++
+	}
+	dataOff := int(slot) * s.opts.RecordSize
+	off := int(slot) * slotSize
+	if err := s.index.PutUint64(off, key); err != nil {
+		return err
+	}
+	if err := s.index.PutUint64(off+8, occupiedBit|uint64(dataOff)); err != nil {
+		return err
+	}
+	// Store the value zero-padded to the fixed record size.
+	if s.scratch == nil {
+		s.scratch = make([]byte, s.opts.RecordSize)
+	}
+	copy(s.scratch, value)
+	for i := len(value); i < s.opts.RecordSize; i++ {
+		s.scratch[i] = 0
+	}
+	if err := s.data.CopyIn(dataOff, s.scratch); err != nil {
+		return err
+	}
+	s.puts++
+	return nil
+}
+
+// Get returns a copy of the record stored under key, server-side.
+func (s *Store) Get(key uint64) ([]byte, bool) {
+	slot, ok, _, _ := s.findSlot(key)
+	if !ok {
+		return nil, false
+	}
+	_, state := s.slotState(slot)
+	dataOff := int(state &^ occupiedBit)
+	v, err := s.data.CopyOut(dataOff, s.opts.RecordSize)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// Populate fills the store with n records whose values are produced by
+// valueFn(key); keys are 0..n-1 as in the paper's YCSB load phase.
+func (s *Store) Populate(n int, valueFn func(key uint64) []byte) error {
+	for k := 0; k < n; k++ {
+		if err := s.Put(uint64(k), valueFn(uint64(k))); err != nil {
+			return fmt.Errorf("kvstore: populating key %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// getRequest is the two-sided GET wire format.
+type getRequest struct {
+	key   uint64
+	reqID uint64
+}
+
+// getResponse carries the record (or ok=false).
+type getResponse struct {
+	reqID uint64
+	value []byte
+	ok    bool
+}
+
+type putRequest struct {
+	key   uint64
+	value []byte
+	reqID uint64
+}
+
+type putResponse struct {
+	reqID uint64
+	err   string
+}
+
+func (s *Store) handleGet(from *rdma.Node, body any) {
+	req, ok := body.(getRequest)
+	if !ok {
+		return
+	}
+	v, found := s.Get(req.key)
+	s.getRPCs++
+	qp, err := s.node.Fabric().Connect(s.node, from)
+	if err != nil {
+		return
+	}
+	size := 16
+	if found {
+		size += len(v)
+	}
+	_ = qp.Send(rdma.Message{Kind: msgGetResp, Body: getResponse{reqID: req.reqID, value: v, ok: found}}, size, nil)
+}
+
+func (s *Store) handlePut(from *rdma.Node, body any) {
+	req, ok := body.(putRequest)
+	if !ok {
+		return
+	}
+	errStr := ""
+	if err := s.Put(req.key, req.value); err != nil {
+		errStr = err.Error()
+	}
+	qp, err := s.node.Fabric().Connect(s.node, from)
+	if err != nil {
+		return
+	}
+	_ = qp.Send(rdma.Message{Kind: msgPutResp, Body: putResponse{reqID: req.reqID, err: errStr}}, 24, nil)
+}

@@ -1,0 +1,106 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUpdateWarmCache(t *testing.T) {
+	k, _, store, kv := testStore(t, smallOpts())
+	if err := store.Populate(50, valFor); err != nil {
+		t.Fatal(err)
+	}
+	kv.PrimeCache(50)
+
+	var updErr error = nil
+	called := false
+	if err := kv.Update(7, []byte("updated!"), func(err error) { called, updErr = true, err }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !called || updErr != nil {
+		t.Fatalf("update callback: called=%v err=%v", called, updErr)
+	}
+	v, ok := store.Get(7)
+	if !ok || string(v[:8]) != "updated!" {
+		t.Errorf("server value = %q", v[:8])
+	}
+	// Zero-padded tail.
+	for i := 8; i < len(v); i++ {
+		if v[i] != 0 {
+			t.Fatalf("tail byte %d = %x", i, v[i])
+		}
+	}
+	if kv.OneSidedPuts() != 1 {
+		t.Errorf("OneSidedPuts = %d", kv.OneSidedPuts())
+	}
+}
+
+func TestUpdateColdCacheResolves(t *testing.T) {
+	k, _, store, kv := testStore(t, smallOpts())
+	_ = store.Populate(20, valFor)
+	var updErr error
+	_ = kv.Update(11, []byte("cold"), func(err error) { updErr = err })
+	k.Run()
+	if updErr != nil {
+		t.Fatal(updErr)
+	}
+	if kv.ProbeReads() == 0 {
+		t.Error("cold update did not probe")
+	}
+	v, _ := store.Get(11)
+	if string(v[:4]) != "cold" {
+		t.Errorf("value = %q", v[:4])
+	}
+}
+
+func TestUpdateMissingKey(t *testing.T) {
+	k, _, store, kv := testStore(t, smallOpts())
+	_ = store.Populate(10, valFor)
+	var updErr error
+	called := false
+	_ = kv.Update(999, []byte("x"), func(err error) { called, updErr = true, err })
+	k.Run()
+	if !called || updErr != ErrNotFound {
+		t.Errorf("missing-key update: called=%v err=%v", called, updErr)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	_, _, _, kv := testStore(t, smallOpts())
+	if err := kv.Update(1, nil, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	if err := kv.Update(1, make([]byte, 65), func(error) {}); err == nil {
+		t.Error("oversize value accepted")
+	}
+}
+
+// TestUpdateIsSilent: one-sided updates never touch the server CPU.
+func TestUpdateIsSilent(t *testing.T) {
+	k, _, store, kv := testStore(t, smallOpts())
+	_ = store.Populate(10, valFor)
+	kv.PrimeCache(10)
+	for i := uint64(0); i < 10; i++ {
+		_ = kv.Update(i, []byte{byte(i)}, func(error) {})
+	}
+	k.Run()
+	if n := store.Node().Stats().SendsReceived; n != 0 {
+		t.Errorf("one-sided updates generated %d server messages", n)
+	}
+}
+
+// TestUpdateThenGet round trip through both one-sided paths.
+func TestUpdateThenGet(t *testing.T) {
+	k, _, store, kv := testStore(t, smallOpts())
+	_ = store.Populate(10, valFor)
+	kv.PrimeCache(10)
+	want := []byte("round-trip-value")
+	_ = kv.Update(3, want, func(error) {})
+	var got []byte
+	_ = kv.Get(3, func(v []byte, err error) { got = append([]byte(nil), v[:len(want)]...) })
+	k.Run()
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %q want %q", got, want)
+	}
+}

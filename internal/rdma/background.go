@@ -1,0 +1,86 @@
+package rdma
+
+import "fmt"
+
+// BackgroundJob injects closed-loop one-sided 4 KB I/O load at a server
+// outside of any QoS control, reproducing the paper's Set-4 methodology:
+// "each client node starts a background communication job [that] generates
+// burst I/Os to the data node", silently consuming capacity that Haechi's
+// adaptive capacity estimator must detect.
+//
+// Each job owns a private initiator node with per-client characteristics
+// (a separate process with its own QP context), so starting and stopping a
+// job changes only the load on the target server.
+type BackgroundJob struct {
+	fabric      *Fabric
+	target      *Node
+	initiator   *Node
+	queue       *dataQueue
+	window      int
+	running     bool
+	outstanding int
+	completed   uint64
+}
+
+// NewBackgroundJob creates a stopped job that keeps window one-sided reads
+// outstanding against target while running.
+func NewBackgroundJob(f *Fabric, name string, target *Node, window int) (*BackgroundJob, error) {
+	if target == nil || target.kind != ServerNode {
+		return nil, fmt.Errorf("rdma: background job %q: target must be a server node", name)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("rdma: background job %q: window must be positive, got %d", name, window)
+	}
+	initiator, err := f.addNode("bg/"+name, ClientNode)
+	if err != nil {
+		return nil, err
+	}
+	// Background initiators are an injection mechanism, not topology:
+	// remove them from the public node list so experiments iterate only
+	// real cluster nodes.
+	f.nodes = f.nodes[:len(f.nodes)-1]
+	return &BackgroundJob{
+		fabric:    f,
+		target:    target,
+		initiator: initiator,
+		queue:     newDataQueue(nil),
+		window:    window,
+	}, nil
+}
+
+// Start begins (or resumes) injecting load.
+func (b *BackgroundJob) Start() {
+	if b.running {
+		return
+	}
+	b.running = true
+	for b.outstanding < b.window {
+		b.issue()
+	}
+}
+
+// Stop ceases issuing new I/Os; in-flight ones drain naturally.
+func (b *BackgroundJob) Stop() { b.running = false }
+
+// Running reports whether the job is injecting load.
+func (b *BackgroundJob) Running() bool { return b.running }
+
+// Completed returns the number of background I/Os finished so far.
+func (b *BackgroundJob) Completed() uint64 { return b.completed }
+
+func (b *BackgroundJob) issue() {
+	b.outstanding++
+	k := b.fabric.k
+	prop := b.fabric.cfg.PropagationDelay
+	b.initiator.nic.SubmitWeighted(1, func() {
+		k.Schedule(prop, func() {
+			b.target.sched.enqueue(b.queue, flowOp{weight: 1, complete: func() {
+				b.outstanding--
+				b.completed++
+				if b.running {
+					b.issue()
+				}
+			}})
+		})
+	})
+}

@@ -1,0 +1,80 @@
+package rdma
+
+import "fmt"
+
+// Message is the envelope for two-sided SENDs when several protocols share
+// one node (e.g. the KV store RPC handler and the Haechi QoS monitor both
+// live on the data node).
+type Message struct {
+	Kind string
+	Body any
+}
+
+// Dispatcher routes incoming Messages to per-kind handlers, optionally
+// scoped by sender (a multi-server client runs one QoS engine per data
+// node on the same client node; each engine handles only its own
+// monitor's messages). Bind it to a node once; register handlers before
+// or after binding.
+type Dispatcher struct {
+	node     *Node
+	handlers map[string]func(from *Node, body any)
+	scoped   map[string]map[*Node]func(from *Node, body any)
+}
+
+// NewDispatcher creates a dispatcher bound to n.
+func NewDispatcher(n *Node) *Dispatcher {
+	d := &Dispatcher{
+		node:     n,
+		handlers: make(map[string]func(from *Node, body any)),
+		scoped:   make(map[string]map[*Node]func(from *Node, body any)),
+	}
+	n.SetRecvHandler(d.dispatch)
+	return d
+}
+
+// Handle registers a handler for messages of the given kind from any
+// sender. Registering a duplicate kind is an error.
+func (d *Dispatcher) Handle(kind string, h func(from *Node, body any)) error {
+	if _, ok := d.handlers[kind]; ok {
+		return fmt.Errorf("rdma: node %s: handler for %q already registered", d.node.name, kind)
+	}
+	d.handlers[kind] = h
+	return nil
+}
+
+// HandleFrom registers a handler for messages of the given kind sent by
+// the specific node. Sender-scoped handlers take precedence over Handle's
+// catch-all for the same kind.
+func (d *Dispatcher) HandleFrom(kind string, from *Node, h func(from *Node, body any)) error {
+	if from == nil {
+		return fmt.Errorf("rdma: node %s: HandleFrom requires a sender", d.node.name)
+	}
+	byFrom, ok := d.scoped[kind]
+	if !ok {
+		byFrom = make(map[*Node]func(from *Node, body any))
+		d.scoped[kind] = byFrom
+	}
+	if _, dup := byFrom[from]; dup {
+		return fmt.Errorf("rdma: node %s: handler for %q from %s already registered", d.node.name, kind, from.name)
+	}
+	byFrom[from] = h
+	return nil
+}
+
+func (d *Dispatcher) dispatch(from *Node, payload any) {
+	msg, ok := payload.(Message)
+	if !ok {
+		// Unrouted payloads are dropped; a real RNIC would complete the
+		// recv with an unknown-format buffer the application ignores.
+		return
+	}
+	if byFrom, ok := d.scoped[msg.Kind]; ok {
+		if h, ok := byFrom[from]; ok {
+			h(from, msg.Body)
+			return
+		}
+	}
+	if h, ok := d.handlers[msg.Kind]; ok {
+		h(from, msg.Body)
+	}
+}

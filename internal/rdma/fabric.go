@@ -1,0 +1,189 @@
+package rdma
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// NodeKind distinguishes the two roles in the performance model.
+type NodeKind int
+
+// Node kinds.
+const (
+	// ClientNode initiates verbs; its NIC station is calibrated to the
+	// per-client caps (C_L).
+	ClientNode NodeKind = iota + 1
+	// ServerNode is a data node: its NIC station is calibrated to the
+	// aggregate one-sided cap (C_G) and its CPU station to the two-sided
+	// RPC cap.
+	ServerNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case ClientNode:
+		return "client"
+	case ServerNode:
+		return "server"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a machine attached to the fabric.
+type Node struct {
+	fabric *Fabric
+	name   string
+	kind   NodeKind
+
+	// nic processes every verb that transits this node (initiations and,
+	// for servers, incoming one-sided targets).
+	nic *sim.Station
+	// cpu processes two-sided requests; nil for client nodes (client-side
+	// receive processing is folded into the initiator weight, see Send).
+	cpu *sim.Station
+
+	recv    func(from *Node, payload any)
+	regions map[string]*Region
+	stats   Stats
+	// sched arbitrates incoming bulk operations round-robin across
+	// initiators (per-QP fairness).
+	sched rrScheduler
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Fabric returns the fabric the node is attached to.
+func (n *Node) Fabric() *Fabric { return n.fabric }
+
+// Kind returns the node kind.
+func (n *Node) Kind() NodeKind { return n.kind }
+
+// Stats returns a snapshot of the node's verb counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// NIC exposes the node's NIC station (e.g. to adjust rates in fault or
+// congestion scenarios).
+func (n *Node) NIC() *sim.Station { return n.nic }
+
+// SetRecvHandler installs the handler invoked when a two-sided SEND is
+// delivered to this node. For server nodes the handler runs after CPU
+// processing; for client nodes it runs on NIC delivery.
+func (n *Node) SetRecvHandler(h func(from *Node, payload any)) { n.recv = h }
+
+// RegisterRegion registers size bytes of memory under name and returns the
+// region capability. Registering a duplicate name is an error.
+func (n *Node) RegisterRegion(name string, size int) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("rdma: node %s: region %q size must be positive, got %d", n.name, name, size)
+	}
+	if _, ok := n.regions[name]; ok {
+		return nil, fmt.Errorf("rdma: node %s: region %q already registered", n.name, name)
+	}
+	r := &Region{name: name, owner: n, buf: make([]byte, size)}
+	n.regions[name] = r
+	return r, nil
+}
+
+// Region looks up a registered region by name.
+func (n *Node) Region(name string) (*Region, bool) {
+	r, ok := n.regions[name]
+	return r, ok
+}
+
+// Fabric is the simulated network: it owns the nodes and the performance
+// model and schedules all verb processing on the simulation kernel.
+type Fabric struct {
+	k     *sim.Kernel
+	cfg   Config
+	nodes []*Node
+}
+
+// NewFabric creates a fabric on kernel k with the given performance model.
+func NewFabric(k *sim.Kernel, cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{k: k, cfg: cfg}, nil
+}
+
+// Kernel returns the simulation kernel driving this fabric.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// Config returns the fabric's performance model.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Nodes returns all nodes attached to the fabric.
+func (f *Fabric) Nodes() []*Node { return f.nodes }
+
+// AddClient attaches a client node.
+func (f *Fabric) AddClient(name string) (*Node, error) {
+	return f.addNode(name, ClientNode)
+}
+
+// AddServer attaches a data node.
+func (f *Fabric) AddServer(name string) (*Node, error) {
+	return f.addNode(name, ServerNode)
+}
+
+func (f *Fabric) addNode(name string, kind NodeKind) (*Node, error) {
+	for _, n := range f.nodes {
+		if n.name == name {
+			return nil, fmt.Errorf("rdma: node %q already exists", name)
+		}
+	}
+	n := &Node{
+		fabric:  f,
+		name:    name,
+		kind:    kind,
+		regions: make(map[string]*Region),
+	}
+	n.sched.node = n
+	var err error
+	switch kind {
+	case ClientNode:
+		n.nic, err = sim.NewStation(f.k, name+"/nic", f.cfg.ClientOneSidedRate, f.cfg.Jitter)
+	case ServerNode:
+		n.nic, err = sim.NewStation(f.k, name+"/nic", f.cfg.ServerOneSidedRate, f.cfg.Jitter)
+		if err == nil {
+			n.cpu, err = sim.NewStation(f.k, name+"/cpu", f.cfg.ServerTwoSidedRate, f.cfg.Jitter)
+		}
+	default:
+		err = fmt.Errorf("rdma: unknown node kind %v", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.nodes = append(f.nodes, n)
+	return n, nil
+}
+
+// Connect creates a queue pair from initiator to target.
+func (f *Fabric) Connect(initiator, target *Node) (*QP, error) {
+	if initiator == nil || target == nil {
+		return nil, fmt.Errorf("rdma: Connect requires two non-nil nodes")
+	}
+	if initiator.fabric != f || target.fabric != f {
+		return nil, fmt.Errorf("rdma: Connect across fabrics (%s -> %s)", initiator.name, target.name)
+	}
+	return &QP{
+		fabric:    f,
+		initiator: initiator,
+		target:    target,
+		window:    f.cfg.FlowControlWindow,
+	}, nil
+}
+
+// twoSidedExtraWeight is the additional initiation cost of a two-sided
+// operation at a client NIC, derived from the calibrated one- and
+// two-sided per-client rates: a closed-loop two-sided 4 KB GET should cost
+// ClientOneSidedRate/ClientTwoSidedRate service units end to end.
+func (f *Fabric) twoSidedExtraWeight() float64 {
+	w := f.cfg.ClientOneSidedRate/f.cfg.ClientTwoSidedRate - 1
+	if w < 0 {
+		w = 0
+	}
+	return w
+}

@@ -1,0 +1,308 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// QP is a queue pair: a unidirectional verb channel from an initiator node
+// to a target node. Verbs submitted on a QP are processed FIFO at each
+// station they traverse, so per-QP ordering matches RDMA reliable
+// connection semantics.
+//
+// One-sided verbs (Read, Write, FetchAdd, CompareSwap) never involve the
+// target CPU: their memory effects are applied by the simulated target NIC
+// at its service-completion instant. Two-sided Sends are handed to the
+// target CPU (for servers) and delivered to the node's receive handler.
+type QP struct {
+	fabric    *Fabric
+	initiator *Node
+	target    *Node
+
+	// Credit-based flow control for bulk transfers (see
+	// Config.FlowControlWindow): inFlight counts data operations admitted
+	// to the target and not yet serviced; waiting holds operations that
+	// arrived at the wire without a credit. serverQ is this QP's queue in
+	// the target's round-robin scheduler.
+	window   int
+	inFlight int
+	waiting  []flowOp
+	serverQ  *dataQueue
+}
+
+// flowOp is a data operation waiting for a flow-control credit. weight is
+// the target-side service weight; initWeight the initiator-side one.
+type flowOp struct {
+	weight     float64
+	initWeight float64
+	apply      func()
+	complete   func()
+}
+
+// Initiator returns the initiating node.
+func (qp *QP) Initiator() *Node { return qp.initiator }
+
+// Target returns the target node.
+func (qp *QP) Target() *Node { return qp.target }
+
+func (qp *QP) checkRegion(r *Region) error {
+	if r == nil {
+		return fmt.Errorf("rdma: %s->%s: nil region", qp.initiator.name, qp.target.name)
+	}
+	if r.owner != qp.target {
+		return fmt.Errorf("rdma: %s->%s: region %q is owned by %s, not the QP target",
+			qp.initiator.name, qp.target.name, r.name, r.owner.name)
+	}
+	return nil
+}
+
+// loopback reports whether this QP targets its own node (e.g. the QoS
+// monitor manipulating the global token cell through its own NIC).
+func (qp *QP) loopback() bool { return qp.initiator == qp.target }
+
+// submitNIC routes an operation to a NIC station. Control operations
+// (atomics and small transfers) take the priority path: they are
+// arbitrated ahead of queued bulk transfers, as separate QPs are on a
+// real RNIC, while still consuming station capacity.
+func submitNIC(st *sim.Station, weight float64, control bool, done func()) {
+	if control {
+		st.SubmitPriority(weight, done)
+		return
+	}
+	st.SubmitWeighted(weight, done)
+}
+
+// initiate charges the initiator NIC, then after propagation charges the
+// target NIC and applies the op, then after propagation delivers the
+// completion. For loopback QPs the op traverses the NIC once and skips the
+// wire.
+func (qp *QP) initiate(initWeight, targetWeight float64, control bool, apply func(), complete func()) {
+	k := qp.fabric.k
+	prop := qp.fabric.cfg.PropagationDelay
+	if qp.loopback() {
+		submitNIC(qp.initiator.nic, targetWeight, control, func() {
+			apply()
+			if complete != nil {
+				complete()
+			}
+		})
+		return
+	}
+	if control {
+		qp.initiator.nic.SubmitPriority(initWeight, func() {
+			k.Schedule(prop, func() {
+				qp.target.nic.SubmitPriority(targetWeight, func() {
+					apply()
+					if complete != nil {
+						k.Schedule(prop, complete)
+					}
+				})
+			})
+		})
+		return
+	}
+	qp.admitData(flowOp{
+		weight:     targetWeight,
+		initWeight: initWeight,
+		apply:      apply,
+		complete:   complete,
+	})
+}
+
+// admitData applies per-QP flow control at the initiator, before the
+// sending NIC transmits: a posted WQE consumes no NIC processing until a
+// credit is available, so late bursts of queued work still pay the
+// per-operation initiator cost (the local capacity C_L) when they finally
+// transmit — matching real credit-based flow control.
+func (qp *QP) admitData(op flowOp) {
+	if qp.serverQ == nil {
+		qp.serverQ = newDataQueue(qp.releaseCredit)
+	}
+	if qp.window > 0 && qp.inFlight >= qp.window {
+		qp.waiting = append(qp.waiting, op)
+		return
+	}
+	qp.transmit(op)
+}
+
+// transmit runs the credit-holding pipeline: initiator NIC service, wire,
+// then the target's round-robin scheduler.
+func (qp *QP) transmit(op flowOp) {
+	qp.inFlight++
+	k := qp.fabric.k
+	prop := qp.fabric.cfg.PropagationDelay
+	qp.initiator.nic.SubmitWeighted(op.initWeight, func() {
+		k.Schedule(prop, func() {
+			qp.target.sched.enqueue(qp.serverQ, op)
+		})
+	})
+}
+
+// releaseCredit returns one flow-control credit after a serviced op and
+// admits the next waiting operation, if any.
+func (qp *QP) releaseCredit() {
+	qp.inFlight--
+	if len(qp.waiting) > 0 {
+		next := qp.waiting[0]
+		qp.waiting[0] = flowOp{}
+		qp.waiting = qp.waiting[1:]
+		qp.transmit(next)
+	}
+}
+
+// Read performs a one-sided RDMA READ of size bytes at off in region r.
+// The callback receives a view of the target memory valid at delivery
+// time; callers that retain the data across further simulation must copy.
+func (qp *QP) Read(r *Region, off, size int, cb func(data []byte)) error {
+	if err := qp.checkRegion(r); err != nil {
+		return err
+	}
+	if err := r.checkRange(off, size); err != nil {
+		return err
+	}
+	w := qp.fabric.cfg.sizeWeight(size)
+	qp.initiator.stats.Reads++
+	qp.initiator.stats.BytesRead += uint64(size)
+	qp.target.stats.OneSidedTargeted++
+	qp.initiate(w, w, qp.fabric.cfg.isControl(size), func() {}, func() {
+		cb(r.bytes(off, size))
+	})
+	return nil
+}
+
+// Write performs a one-sided RDMA WRITE of data at off in region r. The
+// data is captured at call time; cb (optional) fires when the initiator
+// observes completion. Haechi's silent reports are 8-byte Writes.
+func (qp *QP) Write(r *Region, off int, data []byte, cb func()) error {
+	if err := qp.checkRegion(r); err != nil {
+		return err
+	}
+	if err := r.checkRange(off, len(data)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	w := qp.fabric.cfg.sizeWeight(len(buf))
+	qp.initiator.stats.Writes++
+	qp.initiator.stats.BytesWritten += uint64(len(buf))
+	qp.target.stats.OneSidedTargeted++
+	qp.initiate(w, w, qp.fabric.cfg.isControl(len(buf)), func() {
+		copy(r.buf[off:], buf)
+	}, cb)
+	return nil
+}
+
+// WriteUint64 writes an 8-byte little-endian value; this is the wire
+// format of Haechi client reports.
+func (qp *QP) WriteUint64(r *Region, off int, v uint64, cb func()) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return qp.Write(r, off, b[:], cb)
+}
+
+// FetchAdd performs a one-sided atomic FETCH_ADD on the 8-byte cell at
+// off: the callback receives the value before the add. Haechi clients
+// claim batched global tokens with FetchAdd(-B).
+func (qp *QP) FetchAdd(r *Region, off int, delta int64, cb func(old int64)) error {
+	if err := qp.checkRegion(r); err != nil {
+		return err
+	}
+	if err := r.checkRange(off, 8); err != nil {
+		return err
+	}
+	w := qp.fabric.cfg.AtomicWeight
+	qp.initiator.stats.FetchAdds++
+	qp.target.stats.OneSidedTargeted++
+	var old int64
+	qp.initiate(w, w, true, func() {
+		old = int64(binary.LittleEndian.Uint64(r.buf[off:]))
+		binary.LittleEndian.PutUint64(r.buf[off:], uint64(old+delta))
+	}, func() {
+		if cb != nil {
+			cb(old)
+		}
+	})
+	return nil
+}
+
+// CompareSwap performs a one-sided atomic CMP_SWAP on the 8-byte cell at
+// off: if the cell equals expect it is set to swap; the callback receives
+// the value before the operation. The QoS monitor samples the global token
+// cell with CompareSwap(v, v) loopbacks.
+func (qp *QP) CompareSwap(r *Region, off int, expect, swap int64, cb func(old int64)) error {
+	if err := qp.checkRegion(r); err != nil {
+		return err
+	}
+	if err := r.checkRange(off, 8); err != nil {
+		return err
+	}
+	w := qp.fabric.cfg.AtomicWeight
+	qp.initiator.stats.CompareSwaps++
+	qp.target.stats.OneSidedTargeted++
+	var old int64
+	qp.initiate(w, w, true, func() {
+		old = int64(binary.LittleEndian.Uint64(r.buf[off:]))
+		if old == expect {
+			binary.LittleEndian.PutUint64(r.buf[off:], uint64(swap))
+		}
+	}, func() {
+		if cb != nil {
+			cb(old)
+		}
+	})
+	return nil
+}
+
+// Send performs a two-sided operation carrying payload with the given wire
+// size. For a server target the message is processed by the target NIC and
+// then the target CPU before delivery to the receive handler — this is the
+// path whose cost one-sided I/O avoids. For a client target (e.g. the
+// monitor pushing reservation tokens) the message is delivered after the
+// wire and the initiator-side costs only. cb (optional) fires at the
+// initiator once the message has been delivered.
+func (qp *QP) Send(payload any, size int, cb func()) error {
+	if size < 0 {
+		return fmt.Errorf("rdma: %s->%s: negative send size %d", qp.initiator.name, qp.target.name, size)
+	}
+	if qp.target.recv == nil {
+		return fmt.Errorf("rdma: %s->%s: target has no receive handler", qp.initiator.name, qp.target.name)
+	}
+	f := qp.fabric
+	k := f.k
+	prop := f.cfg.PropagationDelay
+
+	initWeight := f.cfg.sizeWeight(size)
+	if qp.initiator.kind == ClientNode {
+		// Two-sided operations cost measurably more at the client than
+		// one-sided ones (Fig. 6); the surcharge is derived from the
+		// calibrated rates.
+		initWeight += f.twoSidedExtraWeight()
+	}
+	qp.initiator.stats.SendsSent++
+	qp.target.stats.SendsReceived++
+
+	deliver := func() {
+		qp.target.recv(qp.initiator, payload)
+		if cb != nil {
+			k.Schedule(prop, cb)
+		}
+	}
+	control := f.cfg.isControl(size)
+	submitNIC(qp.initiator.nic, initWeight, control, func() {
+		k.Schedule(prop, func() {
+			if qp.target.kind == ServerNode {
+				submitNIC(qp.target.nic, f.cfg.SendRequestWeight, true, func() {
+					qp.target.cpu.Submit(deliver)
+				})
+			} else {
+				// A client receiving a SEND pays its NIC the
+				// size-proportional cost (a 4 KB RPC reply is real work;
+				// a token push is nearly free).
+				submitNIC(qp.target.nic, f.cfg.sizeWeight(size), control, deliver)
+			}
+		})
+	})
+	return nil
+}

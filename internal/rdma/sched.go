@@ -1,0 +1,92 @@
+package rdma
+
+// dataQueue is one initiator's FIFO of bulk operations awaiting service at
+// a target NIC. The target's scheduler serves non-empty queues round-robin,
+// modelling RNIC arbitration across queue pairs: concurrent clients share
+// the NIC's processing equally, exactly the behaviour the paper measures
+// ("C_G will be divided equally among the clients", Example 2 / Exp. 1C).
+type dataQueue struct {
+	ops    []flowOp
+	head   int
+	inRing bool
+	// release is invoked after each serviced op (flow-control credit
+	// return at the initiator).
+	release func()
+}
+
+func (q *dataQueue) push(op flowOp) { q.ops = append(q.ops, op) }
+
+func (q *dataQueue) empty() bool { return q.head >= len(q.ops) }
+
+func (q *dataQueue) pop() flowOp {
+	op := q.ops[q.head]
+	q.ops[q.head] = flowOp{}
+	q.head++
+	if q.head >= len(q.ops) {
+		q.ops = q.ops[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.ops) {
+		n := copy(q.ops, q.ops[q.head:])
+		q.ops = q.ops[:n]
+		q.head = 0
+	}
+	return op
+}
+
+// rrScheduler arbitrates a node's bulk service among per-initiator queues.
+type rrScheduler struct {
+	node      *Node
+	ring      []*dataQueue
+	next      int
+	inService bool
+}
+
+// newDataQueue creates a queue to be served by this node's scheduler.
+func newDataQueue(release func()) *dataQueue {
+	return &dataQueue{release: release}
+}
+
+// enqueue adds an operation and kicks the scheduler.
+func (s *rrScheduler) enqueue(q *dataQueue, op flowOp) {
+	q.push(op)
+	if !q.inRing {
+		q.inRing = true
+		s.ring = append(s.ring, q)
+	}
+	s.pump()
+}
+
+// pump dispatches the next operation round-robin when the server is free.
+func (s *rrScheduler) pump() {
+	if s.inService || len(s.ring) == 0 {
+		return
+	}
+	if s.next >= len(s.ring) {
+		s.next = 0
+	}
+	q := s.ring[s.next]
+	op := q.pop()
+	if q.empty() {
+		q.inRing = false
+		s.ring = append(s.ring[:s.next], s.ring[s.next+1:]...)
+		// next now points at the following queue already.
+	} else {
+		s.next++
+	}
+	s.inService = true
+	k := s.node.fabric.k
+	prop := s.node.fabric.cfg.PropagationDelay
+	s.node.nic.SubmitWeighted(op.weight, func() {
+		if op.apply != nil {
+			op.apply()
+		}
+		if op.complete != nil {
+			k.Schedule(prop, op.complete)
+		}
+		if q.release != nil {
+			q.release()
+		}
+		s.inService = false
+		s.pump()
+	})
+}

@@ -1,0 +1,294 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue ordered by (time, sequence), cancellable
+// timers, periodic tickers, and a seeded random source.
+//
+// All Haechi components are driven by this kernel, which makes experiment
+// runs reproducible and decoupled from wall-clock time. The kernel is
+// single-threaded by design: every event handler runs to completion before
+// the next event fires, so components need no internal locking.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It doubles as a duration; arithmetic on Time values is plain
+// integer arithmetic.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// FromSeconds converts a floating-point number of seconds to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// event is a scheduled callback. Events are ordered by time, with the
+// scheduling sequence number breaking ties so that events scheduled earlier
+// for the same instant run first (deterministic FIFO semantics).
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Canceling an already
+// fired or canceled timer is a no-op. Cancel reports whether the callback
+// was prevented from running.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+		return false
+	}
+	t.ev.canceled = true
+	t.ev.fn = nil // release the closure
+	return true
+}
+
+// At reports the virtual time the timer is scheduled for.
+func (t *Timer) At() Time {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Kernel is the discrete-event simulation engine. The zero value is not
+// usable; construct one with New.
+type Kernel struct {
+	now     Time
+	heap    []*event
+	seq     uint64
+	stopped bool
+	rng     *rand.Rand
+	// executed counts events that have fired, for diagnostics.
+	executed uint64
+}
+
+// New returns a kernel whose random source is seeded with seed. The same
+// seed always yields the same simulation outcome.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Executed returns the number of events that have fired so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been reaped).
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// Schedule runs fn after delay d (>= 0). A negative delay is treated as
+// zero. It returns a Timer that can cancel the callback.
+func (k *Kernel) Schedule(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// At runs fn at absolute virtual time t. If t is in the past it runs at the
+// current time (after already queued events for that instant).
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		t = k.now
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	k.push(ev)
+	return &Timer{ev: ev}
+}
+
+// Ticker repeatedly invokes a callback at a fixed interval until stopped.
+type Ticker struct {
+	k        *Kernel
+	interval Time
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// Every schedules fn to run first after start, then every interval.
+// Interval must be positive.
+func (k *Kernel) Every(start, interval Time, fn func()) (*Ticker, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("sim: ticker interval must be positive, got %v", interval)
+	}
+	t := &Ticker{k: k, interval: interval, fn: fn}
+	t.timer = k.Schedule(start, t.tick)
+	return t, nil
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped the ticker
+		t.timer = t.k.Schedule(t.interval, t.tick)
+	}
+}
+
+// Stop prevents all future ticks.
+func (t *Ticker) Stop() {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Cancel()
+}
+
+// Step fires the next event. It reports false when the queue is empty or
+// the kernel has been stopped.
+func (k *Kernel) Step() bool {
+	for {
+		if k.stopped || len(k.heap) == 0 {
+			return false
+		}
+		ev := k.pop()
+		if ev.canceled {
+			continue
+		}
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		k.executed++
+		fn()
+		return true
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled for later instants remain queued.
+func (k *Kernel) RunUntil(t Time) {
+	for !k.stopped {
+		ev := k.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+// Stop halts the simulation: no further events fire. Pending events remain
+// queued but are never executed.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// peek returns the earliest non-canceled event without firing it, reaping
+// canceled events along the way.
+func (k *Kernel) peek() *event {
+	for len(k.heap) > 0 {
+		if k.heap[0].canceled {
+			k.pop()
+			continue
+		}
+		return k.heap[0]
+	}
+	return nil
+}
+
+// heap operations: a hand-rolled binary min-heap keyed on (at, seq). A
+// manual implementation avoids the interface dispatch of container/heap on
+// the hottest path in the simulator.
+
+func (ev *event) less(other *event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
+	}
+	return ev.seq < other.seq
+}
+
+func (k *Kernel) push(ev *event) {
+	k.heap = append(k.heap, ev)
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.heap[i].less(k.heap[parent]) {
+			break
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) pop() *event {
+	n := len(k.heap)
+	top := k.heap[0]
+	k.heap[0] = k.heap[n-1]
+	k.heap[n-1] = nil
+	k.heap = k.heap[:n-1]
+	n--
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && k.heap[right].less(k.heap[left]) {
+			smallest = right
+		}
+		if !k.heap[smallest].less(k.heap[i]) {
+			break
+		}
+		k.heap[i], k.heap[smallest] = k.heap[smallest], k.heap[i]
+		i = smallest
+	}
+	return top
+}

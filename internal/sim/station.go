@@ -1,0 +1,146 @@
+package sim
+
+import "fmt"
+
+// Station models a single-server FIFO queueing station with a fixed mean
+// service time and optional multiplicative jitter. It is the building block
+// for NIC and CPU processing pipelines in the simulated fabric.
+//
+// Submissions are served in arrival order. The implementation keeps only a
+// "busy until" horizon instead of an explicit queue: the completion time of
+// a submission arriving at time a is max(a, busyUntil) + serviceTime, which
+// is exactly FIFO single-server semantics with O(1) state and a single
+// kernel event per operation.
+type Station struct {
+	k *Kernel
+	// service is the mean service time per operation.
+	service Time
+	// jitter is the maximum fractional deviation of a single service time;
+	// each operation's service time is drawn uniformly from
+	// [service*(1-jitter), service*(1+jitter)]. Zero disables jitter.
+	jitter float64
+	// busyUntil is the virtual time at which the server becomes free.
+	busyUntil Time
+	// prioBusyUntil serializes priority (control) operations among
+	// themselves; see SubmitPriority.
+	prioBusyUntil Time
+	// served counts operations completed.
+	served uint64
+	// name identifies the station in diagnostics.
+	name string
+}
+
+// NewStation creates a station served at rate opsPerSec with the given
+// fractional jitter (0 <= jitter < 1).
+func NewStation(k *Kernel, name string, opsPerSec float64, jitter float64) (*Station, error) {
+	if opsPerSec <= 0 {
+		return nil, fmt.Errorf("sim: station %q: rate must be positive, got %v", name, opsPerSec)
+	}
+	if jitter < 0 || jitter >= 1 {
+		return nil, fmt.Errorf("sim: station %q: jitter must be in [0,1), got %v", name, jitter)
+	}
+	return &Station{
+		k:       k,
+		name:    name,
+		service: Time(float64(Second) / opsPerSec),
+		jitter:  jitter,
+	}, nil
+}
+
+// Name returns the station's diagnostic name.
+func (s *Station) Name() string { return s.name }
+
+// Rate returns the station's mean service rate in operations per second.
+func (s *Station) Rate() float64 { return float64(Second) / float64(s.service) }
+
+// SetRate changes the mean service rate. Pending (already scheduled)
+// completions are unaffected.
+func (s *Station) SetRate(opsPerSec float64) error {
+	if opsPerSec <= 0 {
+		return fmt.Errorf("sim: station %q: rate must be positive, got %v", s.name, opsPerSec)
+	}
+	s.service = Time(float64(Second) / opsPerSec)
+	return nil
+}
+
+// Served returns the number of operations the station has completed.
+func (s *Station) Served() uint64 { return s.served }
+
+// QueueDelay returns how long a submission made now would wait before its
+// service begins.
+func (s *Station) QueueDelay() Time {
+	if d := s.busyUntil - s.k.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Submit enqueues one operation with service-time weight 1 and invokes done
+// when it completes. It returns the completion time.
+func (s *Station) Submit(done func()) Time {
+	return s.SubmitWeighted(1, done)
+}
+
+// SubmitPriority processes one small operation ahead of the bulk FIFO
+// queue while still charging its service time to the station's capacity.
+// It models NIC arbitration across queue pairs: a tiny control verb (an
+// atomic, an 8-byte write) is scheduled within its own service time plus
+// any earlier priority work, instead of waiting behind every queued bulk
+// transfer — but the processing time it consumes still delays bulk work.
+func (s *Station) SubmitPriority(weight float64, done func()) Time {
+	if weight < 0 {
+		weight = 0
+	}
+	svc := Time(float64(s.service) * weight)
+	if s.jitter > 0 && svc > 0 {
+		f := 1 + s.jitter*(2*s.k.Rand().Float64()-1)
+		svc = Time(float64(svc) * f)
+	}
+	// Charge the capacity: bulk work behind us is pushed back.
+	if s.busyUntil < s.k.Now() {
+		s.busyUntil = s.k.Now()
+	}
+	s.busyUntil += svc
+	// Complete after our own service time, serialized only with earlier
+	// priority operations.
+	start := s.k.Now()
+	if s.prioBusyUntil > start {
+		start = s.prioBusyUntil
+	}
+	completion := start + svc
+	s.prioBusyUntil = completion
+	s.k.At(completion, func() {
+		s.served++
+		if done != nil {
+			done()
+		}
+	})
+	return completion
+}
+
+// SubmitWeighted enqueues one operation whose service time is weight times
+// the station's per-op service time (e.g. a doorbell-batched verb may be
+// cheaper than a full 4 KB transfer). done may be nil.
+func (s *Station) SubmitWeighted(weight float64, done func()) Time {
+	if weight < 0 {
+		weight = 0
+	}
+	svc := Time(float64(s.service) * weight)
+	if s.jitter > 0 && svc > 0 {
+		f := 1 + s.jitter*(2*s.k.Rand().Float64()-1)
+		svc = Time(float64(svc) * f)
+	}
+	start := s.k.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	completion := start + svc
+	s.busyUntil = completion
+	s.k.At(completion, func() {
+		s.served++
+		if done != nil {
+			done()
+		}
+	})
+	return completion
+}

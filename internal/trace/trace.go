@@ -1,0 +1,210 @@
+// Package trace records structured protocol events into a fixed-size
+// ring buffer, for debugging and analyzing Haechi runs: token pushes and
+// claims, yields and returns, pool caps, reports, capacity updates,
+// throttling, and failure-detection transitions. Recording is optional
+// and nil-safe — components hold a *Recorder that may be nil — and adds
+// a single branch when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// Kind classifies a protocol event.
+type Kind uint8
+
+// Event kinds. A and B in Event carry kind-specific values as noted.
+const (
+	// PeriodStart: a new QoS period at the monitor. A=period index,
+	// B=token budget Omega.
+	PeriodStart Kind = iota + 1
+	// TokenPush: reservation tokens pushed to a client. A=client id,
+	// B=R_i.
+	TokenPush
+	// ReportSignal: the monitor broadcast "begin reporting". A=period.
+	ReportSignal
+	// Report: a client wrote its report. A=residual, B=completed.
+	Report
+	// Claim: a client's FETCH_ADD claim returned. A=old pool value,
+	// B=tokens granted.
+	Claim
+	// Probe: a zero-delta pool probe returned. A=old pool value.
+	Probe
+	// Yield: the X-counter decay reclaimed tokens at a client. A=tokens
+	// yielded, B=tokens returned to the pool (0 in Basic mode).
+	Yield
+	// PoolCap: the monitor lowered the pool to the capacity bound.
+	// A=previous value, B=bound written.
+	PoolCap
+	// CapacityUpdate: Algorithm 1 produced a new estimate. A=reported
+	// usage U, B=Omega for the next period.
+	CapacityUpdate
+	// LimitThrottle: a client hit its per-period limit. A=limit.
+	LimitThrottle
+	// FailureSuspect / FailureRecover: failure-detection transitions.
+	// A=client id.
+	FailureSuspect
+	FailureRecover
+	// LocalViolation: Definition 2's runtime local-capacity condition
+	// failed for a client mid-period — its residual reservation can no
+	// longer be served at C_L in the time left. A=client id, B=shortfall.
+	LocalViolation
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case PeriodStart:
+		return "period-start"
+	case TokenPush:
+		return "token-push"
+	case ReportSignal:
+		return "report-signal"
+	case Report:
+		return "report"
+	case Claim:
+		return "claim"
+	case Probe:
+		return "probe"
+	case Yield:
+		return "yield"
+	case PoolCap:
+		return "pool-cap"
+	case CapacityUpdate:
+		return "capacity-update"
+	case LimitThrottle:
+		return "limit-throttle"
+	case FailureSuspect:
+		return "failure-suspect"
+	case FailureRecover:
+		return "failure-recover"
+	case LocalViolation:
+		return "local-violation"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// Actor identifies the emitting component ("monitor", "engine-3").
+	Actor string
+	// A and B carry kind-specific values (see the Kind constants).
+	A, B int64
+}
+
+// String formats the event for dumps.
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v %-15s %-10s A=%d B=%d", e.At, e.Kind, e.Actor, e.A, e.B)
+}
+
+// Recorder is a fixed-capacity ring buffer of events. The zero value is
+// unusable; construct with NewRecorder. A nil *Recorder is a valid no-op
+// target for Record.
+type Recorder struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// NewRecorder creates a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("trace: capacity must be positive, got %d", capacity)
+	}
+	return &Recorder{buf: make([]Event, capacity)}, nil
+}
+
+// Record appends an event, evicting the oldest when full. Safe on a nil
+// receiver.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.buf[r.next] = ev
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns retained events of the given kinds, chronological.
+func (r *Recorder) Filter(kinds ...Kind) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		for _, k := range kinds {
+			if ev.Kind == k {
+				out = append(out, ev)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Counts tallies retained events by kind.
+func (r *Recorder) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, ev := range r.Events() {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Dump writes the retained events to w, one per line.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind counts on one line.
+func (r *Recorder) Summary() string {
+	counts := r.Counts()
+	if len(counts) == 0 {
+		return "trace: empty"
+	}
+	var parts []string
+	for k := PeriodStart; k <= LocalViolation; k++ {
+		if c, ok := counts[k]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
+		}
+	}
+	return "trace: " + strings.Join(parts, " ")
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewRecorder(-5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: Claim}) // must not panic
+	if r.Total() != 0 || r.Events() != nil {
+		t.Error("nil recorder not empty")
+	}
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	r, err := NewRecorder(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: Claim, A: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.A != int64(i) {
+			t.Errorf("event %d out of order: %v", i, ev)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d", r.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r, _ := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: Probe, A: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Oldest retained is 6.
+	for i, ev := range evs {
+		if ev.A != int64(6+i) {
+			t.Errorf("event %d = %v, want A=%d", i, ev, 6+i)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d", r.Total())
+	}
+}
+
+func TestFilterAndCounts(t *testing.T) {
+	r, _ := NewRecorder(16)
+	r.Record(Event{Kind: Claim})
+	r.Record(Event{Kind: Yield})
+	r.Record(Event{Kind: Claim})
+	r.Record(Event{Kind: PoolCap})
+	claims := r.Filter(Claim)
+	if len(claims) != 2 {
+		t.Errorf("Filter(Claim) = %d", len(claims))
+	}
+	both := r.Filter(Claim, Yield)
+	if len(both) != 3 {
+		t.Errorf("Filter(Claim,Yield) = %d", len(both))
+	}
+	counts := r.Counts()
+	if counts[Claim] != 2 || counts[Yield] != 1 || counts[PoolCap] != 1 {
+		t.Errorf("Counts = %v", counts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := PeriodStart; k <= FailureRecover; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("unknown kind format wrong")
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	r, _ := NewRecorder(8)
+	if r.Summary() != "trace: empty" {
+		t.Errorf("empty summary = %q", r.Summary())
+	}
+	r.Record(Event{At: sim.Microsecond, Kind: Claim, Actor: "engine-1", A: 100, B: 50})
+	r.Record(Event{At: 2 * sim.Microsecond, Kind: PeriodStart, Actor: "monitor", A: 1, B: 15700})
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "claim") || !strings.Contains(out, "engine-1") {
+		t.Errorf("dump missing fields: %q", out)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "period-start=1") || !strings.Contains(sum, "claim=1") {
+		t.Errorf("summary = %q", sum)
+	}
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KeyChooser selects which record a request targets.
+type KeyChooser interface {
+	// Next returns the next key using the supplied random source.
+	Next(rng *rand.Rand) uint64
+}
+
+// Interface compliance.
+var (
+	_ KeyChooser = (*UniformKeys)(nil)
+	_ KeyChooser = (*ScrambledZipfian)(nil)
+	_ KeyChooser = (*LatestKeys)(nil)
+	_ KeyChooser = (*SequentialKeys)(nil)
+)
+
+// UniformKeys picks keys uniformly from [0, N).
+type UniformKeys struct {
+	N uint64
+}
+
+// Next draws a uniform key.
+func (u *UniformKeys) Next(rng *rand.Rand) uint64 {
+	return uint64(rng.Int63n(int64(u.N)))
+}
+
+// LatestKeys is YCSB's "latest" distribution: a zipfian over recency, so
+// key N-1 is hottest.
+type LatestKeys struct {
+	z *Zipfian
+	n uint64
+}
+
+// NewLatestKeys creates a latest-distribution chooser over [0, n).
+func NewLatestKeys(n uint64) (*LatestKeys, error) {
+	z, err := NewZipfian(n, zipfTheta)
+	if err != nil {
+		return nil, err
+	}
+	return &LatestKeys{z: z, n: n}, nil
+}
+
+// Next draws a recency-skewed key.
+func (l *LatestKeys) Next(rng *rand.Rand) uint64 {
+	return l.n - 1 - l.z.Next(rng)
+}
+
+// SequentialKeys cycles deterministically through [0, N); useful in tests.
+type SequentialKeys struct {
+	N    uint64
+	next uint64
+}
+
+// Next returns the next key in sequence.
+func (s *SequentialKeys) Next(*rand.Rand) uint64 {
+	k := s.next % s.N
+	s.next++
+	return k
+}
+
+// NewChooser builds a chooser by YCSB distribution name: "uniform",
+// "zipfian", "latest", or "sequential".
+func NewChooser(name string, n uint64) (KeyChooser, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: keyspace must be positive")
+	}
+	switch name {
+	case "uniform":
+		return &UniformKeys{N: n}, nil
+	case "zipfian":
+		return NewScrambledZipfian(n)
+	case "latest":
+		return NewLatestKeys(n)
+	case "sequential":
+		return &SequentialKeys{N: n}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown key distribution %q", name)
+	}
+}

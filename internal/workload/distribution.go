@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// UniformSplit divides total I/Os equally among n clients (the paper's
+// Uniform demand/reservation distribution); remainders go to the first
+// clients so the parts always sum to total.
+func UniformSplit(total uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	if n == 0 {
+		return out
+	}
+	base := total / uint64(n)
+	rem := total % uint64(n)
+	for i := range out {
+		out[i] = base
+		if uint64(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// SpikeSplit builds the paper's Spike distribution: the first high clients
+// receive highVal each, the rest lowVal each (Experiment 1C: 3 clients at
+// 340K, 7 at 80K; Set 3: 3 at 285K, 7 at 80K).
+func SpikeSplit(n, high int, highVal, lowVal uint64) ([]uint64, error) {
+	if high < 0 || high > n {
+		return nil, fmt.Errorf("workload: spike high count %d outside [0,%d]", high, n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if i < high {
+			out[i] = highVal
+		} else {
+			out[i] = lowVal
+		}
+	}
+	return out, nil
+}
+
+// ZipfGroupSplit implements the paper's Zipf reservation distribution:
+// clients are divided into groups (5 groups for 10 clients), group g's
+// share is proportional to 1/(g+1)^exponent (exponent 0.6 in the paper),
+// and every client in a group gets the same value. The parts sum to total.
+func ZipfGroupSplit(total uint64, n, groups int, exponent float64) ([]uint64, error) {
+	if n <= 0 || groups <= 0 || groups > n {
+		return nil, fmt.Errorf("workload: invalid zipf grouping n=%d groups=%d", n, groups)
+	}
+	if n%groups != 0 {
+		return nil, fmt.Errorf("workload: %d clients not divisible into %d groups", n, groups)
+	}
+	perGroup := n / groups
+	weights := make([]float64, groups)
+	var wsum float64
+	for g := range weights {
+		weights[g] = 1 / math.Pow(float64(g+1), exponent)
+		wsum += weights[g]
+	}
+	out := make([]uint64, n)
+	var assigned uint64
+	for g := 0; g < groups; g++ {
+		share := uint64(float64(total) * weights[g] / wsum / float64(perGroup))
+		for c := 0; c < perGroup; c++ {
+			out[g*perGroup+c] = share
+			assigned += share
+		}
+	}
+	// Distribute integer-rounding remainder to the first clients.
+	i := 0
+	for assigned < total {
+		out[i%n]++
+		assigned++
+		i++
+	}
+	return out, nil
+}
+
+// Sum adds up a distribution.
+func Sum(parts []uint64) uint64 {
+	var t uint64
+	for _, p := range parts {
+		t += p
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+// Package workload generates the paper's evaluation workloads: YCSB-style
+// key choosers (uniform, zipfian, latest), the two temporal request
+// patterns (closed-loop burst with a fixed window, open-loop constant
+// rate), and the spatial demand/reservation distributions (uniform, spike,
+// 5-group Zipf with exponent 0.6).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// zipfTheta is YCSB's default skew constant.
+const zipfTheta = 0.99
+
+// Zipfian draws integers in [0, n) with a zipfian distribution using the
+// Gray et al. algorithm that YCSB implements ("Quickly generating
+// billion-record synthetic databases", SIGMOD '94).
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipfian creates a zipfian chooser over [0, n) with skew theta in
+// (0, 1); use zipfTheta for YCSB defaults.
+func NewZipfian(n uint64, theta float64) (*Zipfian, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipfian range must be positive")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipfian theta must be in (0,1), got %v", theta)
+	}
+	z := &Zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z, nil
+}
+
+// zeta computes the generalized harmonic number sum_{i=1}^{n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next zipfian value; 0 is the most popular.
+func (z *Zipfian) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// fnvHash64 is the FNV-1a scramble YCSB applies to spread hot zipfian
+// ranks across the keyspace.
+func fnvHash64(v uint64) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 0x100000001B3
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// ScrambledZipfian is YCSB's scrambled zipfian: zipfian ranks hashed over
+// the keyspace so popularity is skewed but not clustered.
+type ScrambledZipfian struct {
+	z *Zipfian
+	n uint64
+}
+
+// NewScrambledZipfian creates a scrambled zipfian chooser over [0, n).
+func NewScrambledZipfian(n uint64) (*ScrambledZipfian, error) {
+	z, err := NewZipfian(n, zipfTheta)
+	if err != nil {
+		return nil, err
+	}
+	return &ScrambledZipfian{z: z, n: n}, nil
+}
+
+// Next draws the next key.
+func (s *ScrambledZipfian) Next(rng *rand.Rand) uint64 {
+	return fnvHash64(s.z.Next(rng)) % s.n
+}
