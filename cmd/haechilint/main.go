@@ -1,0 +1,93 @@
+// Command haechilint runs the determinism & invariant lint suite over
+// the module (see internal/lint and DESIGN.md "Determinism contract").
+//
+// Usage:
+//
+//	haechilint [package patterns]
+//
+// Patterns are module-relative directories; `dir/...` matches a subtree
+// and `./...` (the default) analyzes every package. The whole module is
+// always loaded — patterns only select which packages are reported on.
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on
+// load or usage errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/haechi-qos/haechi/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "haechilint:", err)
+		return 2
+	}
+	ld := lint.NewLoader()
+	pkgs, err := ld.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "haechilint:", err)
+		return 2
+	}
+	selected, err := filterPackages(pkgs, args)
+	if err != nil {
+		fmt.Fprintln(stderr, "haechilint:", err)
+		return 2
+	}
+	diags := lint.Run(selected, lint.DefaultRules())
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "haechilint: %d issue(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages selects the packages matching the command-line
+// patterns. No patterns (or "./...") means every package.
+func filterPackages(pkgs []*lint.Package, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		matched := false
+		for _, p := range pkgs {
+			if matchPattern(pat, p.Rel) {
+				matched = true
+				if !seen[p.Rel] {
+					seen[p.Rel] = true
+					out = append(out, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func matchPattern(pat, rel string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	pat = strings.TrimSuffix(pat, "/")
+	if pat == "..." || pat == "." || pat == "" {
+		return true
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == sub || strings.HasPrefix(rel, sub+"/")
+	}
+	return rel == pat
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir switches the working directory for one test.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestCleanTree: the lint gate holds on the repository itself — the
+// whole module loads, type-checks, and produces zero diagnostics.
+func TestCleanTree(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("haechilint ./... = exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean tree produced output:\n%s", stdout.String())
+	}
+}
+
+// TestSeededViolations: on the broken fixture module the tool exits
+// non-zero and reports correct file:line diagnostics.
+func TestSeededViolations(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "brokenmod"))
+	var stdout, stderr bytes.Buffer
+	code := run(nil, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%s", len(lines), out)
+	}
+	wantFrags := [][]string{
+		{filepath.Join("internal", "core", "acc.go") + ":8:2", "maporder", "accumulates floating-point values"},
+		{filepath.Join("internal", "sim", "clock.go") + ":8:27", "walltime", "time.Now"},
+	}
+	for i, frags := range wantFrags {
+		for _, frag := range frags {
+			if !strings.Contains(lines[i], frag) {
+				t.Errorf("diagnostic %d = %q, missing %q", i, lines[i], frag)
+			}
+		}
+	}
+	if !strings.Contains(stderr.String(), "2 issue(s)") {
+		t.Errorf("stderr = %q, want issue count", stderr.String())
+	}
+}
+
+// TestPatternFilter: patterns restrict which packages are reported.
+func TestPatternFilter(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "brokenmod"))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"internal/core"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if out := stdout.String(); strings.Contains(out, "clock.go") || !strings.Contains(out, "acc.go") {
+		t.Errorf("pattern internal/core selected wrong packages:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"no/such/pkg"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unmatched pattern: exit = %d, want 2 (stderr %q)", code, stderr.String())
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	tests := []struct {
+		pat, rel string
+		want     bool
+	}{
+		{"./...", "internal/sim", true},
+		{"...", ".", true},
+		{".", "internal/sim", true},
+		{"internal/...", "internal/sim", true},
+		{"internal/...", "internal", true},
+		{"internal/...", "cmd/haechikv", false},
+		{"./internal/sim", "internal/sim", true},
+		{"internal/sim", "internal/sim/sub", false},
+		{"internal/sim/", "internal/sim", true},
+	}
+	for _, tt := range tests {
+		if got := matchPattern(tt.pat, tt.rel); got != tt.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", tt.pat, tt.rel, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package core stands in for QoS math with a seeded map-order
+// violation.
+package core
+
+// Mean accumulates floats in map order on purpose.
+func Mean(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum / float64(len(m))
+}

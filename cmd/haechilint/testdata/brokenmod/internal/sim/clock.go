@@ -1,0 +1,8 @@
+// Package sim stands in for a simulation kernel package with a seeded
+// wall-clock violation.
+package sim
+
+import "time"
+
+// Now leaks the machine clock into the simulation.
+func Now() int64 { return time.Now().UnixNano() }

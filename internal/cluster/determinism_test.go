@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/haechi-qos/haechi/internal/workload"
+)
+
+// TestDeterminismByteIdentical is the runtime twin of haechilint's
+// static guarantee: two full experiment runs from the same seed must
+// serialize to byte-identical results — every period count, every
+// latency percentile, every overhead counter, every timeline point.
+// TestGoldenDeterminism spot-checks a few fields; this test closes the
+// gap by comparing the entire serialized Results, so nondeterminism
+// hiding in any recorded quantity fails loudly.
+func TestDeterminismByteIdentical(t *testing.T) {
+	run := func() []byte {
+		specs := make([]ClientSpec, 6)
+		for i := range specs {
+			specs[i] = ClientSpec{
+				Reservation:    1200,
+				Demand:         ConstantDemand(1500),
+				UpdateFraction: 0.05,
+			}
+		}
+		// One open-loop random-arrival client to exercise the RNG paths.
+		specs[5].Pattern = workload.Poisson{}
+		cfg := testConfig(Haechi)
+		cfg.Seed = 42
+		cl, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo, hi := max(0, i-60), i+60
+		ctx := func(s []byte) string {
+			if lo >= len(s) {
+				return ""
+			}
+			return string(s[lo:min(hi, len(s))])
+		}
+		t.Fatalf("same seed, different serialized results (lengths %d vs %d); first divergence at byte %d:\n  run A: …%s…\n  run B: …%s…",
+			len(a), len(b), i, ctx(a), ctx(b))
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // CapacityEstimator implements Algorithm 1, Adaptive Capacity Estimation:
 // it maintains the per-period token budget Omega_t from the completed-I/O
@@ -111,6 +114,7 @@ func (e *CapacityEstimator) ObserveClientUsage(used map[int]int64, reserved map[
 			e.underuse[id] = 0
 		}
 	}
+	sort.Ints(alerts) // alert delivery order must not depend on map iteration
 	return alerts
 }
 

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags ==/!= between floating-point operands in the QoS and
+// capacity math: token counts, capacity estimates, and rates accumulate
+// rounding, so exact comparison silently turns into a seed-dependent
+// branch. Comparisons against an exact-zero constant are exempt — the
+// float zero value is exact and the tree uses it as an "unset" sentinel
+// (e.g. Config.Sigma == 0).
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between floating-point operands (exact-zero sentinel " +
+		"checks are exempt); compare against a tolerance instead",
+	Run: runFloateq,
+}
+
+func runFloateq(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			out = append(out, p.diag("floateq", be.OpPos,
+				"floating-point %s is rounding-order fragile; compare against a tolerance "+
+					"(only the exact zero sentinel may be compared directly)", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time numeric constant equal
+// to exactly zero.
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

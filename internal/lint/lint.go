@@ -1,0 +1,231 @@
+// Package lint implements haechilint, the static-analysis suite that
+// machine-checks the determinism contract of the simulated-RDMA stack
+// (DESIGN.md, "Determinism contract").
+//
+// The whole reproduction rests on the promise that the fabric is a
+// deterministic discrete-event simulation: every experiment is exactly
+// replayable from a seed. One stray time.Now, global math/rand call, or
+// unordered map iteration in a scheduling path silently breaks that, so
+// this package turns the contract into a machine-checked invariant.
+//
+// The suite is stdlib-only (go/parser, go/ast, go/types); it adds no
+// module dependencies and runs offline. Five analyzers ship by default:
+//
+//   - walltime: wall-clock time is forbidden; simulated time comes from
+//     the sim.Kernel clock.
+//   - globalrand: the process-global math/rand source is forbidden;
+//     randomness flows through the kernel RNG or an explicitly seeded
+//     *rand.Rand.
+//   - maporder: map iteration whose body schedules events, appends
+//     results, sends on channels, or accumulates floats must sort its
+//     keys first or carry a //lint:ordered justification.
+//   - noconcurrency: the single-threaded kernel packages may not use
+//     goroutines, channels, or sync primitives.
+//   - floateq: ==/!= between floating-point operands in QoS/capacity
+//     math is rounding-order fragile (exact-zero sentinel checks are
+//     exempt).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// Package is a parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the full import path; Rel is the module-relative directory
+	// ("." for the module root).
+	Path string
+	Rel  string
+	Name string
+	Fset *token.FileSet
+
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+func (p *Package) diag(analyzer string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// file returns the AST file containing pos.
+func (p *Package) file(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// orderedAnnotation is the escape hatch for maporder: a justified,
+// deliberately unordered map iteration.
+const orderedAnnotation = "lint:ordered"
+
+// hasOrderedAnnotation reports whether a //lint:ordered comment is
+// attached to the statement at pos: trailing on the same line, or on the
+// line directly above it.
+func (p *Package) hasOrderedAnnotation(pos token.Pos) bool {
+	f := p.file(pos)
+	if f == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, grp := range f.Comments {
+		for _, c := range grp.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, orderedAnnotation) {
+				continue
+			}
+			at := p.Fset.Position(c.Pos()).Line
+			if at == line || at == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parentMap records each node's syntactic parent within a file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	m := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}
+
+// Rule scopes an analyzer to part of the module tree.
+type Rule struct {
+	Analyzer *Analyzer
+	// Include lists module-relative path prefixes the analyzer applies
+	// to; empty means every package.
+	Include []string
+	// Exclude lists module-relative path prefixes exempted from the
+	// analyzer. Every entry is a standing, documented waiver.
+	Exclude []string
+}
+
+// Applies reports whether the rule covers the package at module-relative
+// path rel.
+func (r Rule) Applies(rel string) bool {
+	if matchAny(r.Exclude, rel) {
+		return false
+	}
+	return len(r.Include) == 0 || matchAny(r.Include, rel)
+}
+
+func matchAny(prefixes []string, rel string) bool {
+	for _, pfx := range prefixes {
+		if rel == pfx || strings.HasPrefix(rel, pfx+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// KernelPackages lists the single-threaded discrete-event packages: code
+// here runs entirely inside sim.Kernel event handlers, so it needs no
+// locking — and must not introduce any concurrency. Future parallelism
+// PRs must move a package out of this list deliberately (see ROADMAP.md).
+var KernelPackages = []string{
+	"internal/sim",
+	"internal/rdma",
+	"internal/core",
+	"internal/kvstore",
+	"internal/workload",
+	"internal/experiments",
+	"internal/multiserver",
+	"internal/metrics",
+	"internal/cluster",
+	"internal/trace",
+}
+
+// DefaultRules is the shipped haechilint configuration. Scope waivers:
+//
+//   - walltime excludes cmd/haechibench: it measures the real runtime of
+//     the tool itself (how long a simulation takes to execute), not
+//     simulated time, so wall-clock use there is correct.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Analyzer: Walltime, Exclude: []string{"cmd/haechibench"}},
+		{Analyzer: Globalrand},
+		{Analyzer: Maporder},
+		{Analyzer: Noconcurrency, Include: append([]string{"."}, KernelPackages...)},
+		{Analyzer: Floateq, Include: []string{".", "internal"}},
+	}
+}
+
+// Analyzers returns the five shipped analyzers, unscoped.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Walltime, Globalrand, Maporder, Noconcurrency, Floateq}
+}
+
+// Run applies every rule to every package it covers and returns the
+// diagnostics sorted by position.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, r := range rules {
+			if r.Applies(p.Rel) {
+				out = append(out, r.Analyzer.Run(p)...)
+			}
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `for range` over a map when the loop body is
+// order-sensitive: it schedules simulation events, sends or appends
+// results, or accumulates floating-point values. Go randomizes map
+// iteration order per run, so any of those turns a replayable simulation
+// into a different one each execution. Sort the keys into a slice first,
+// or — when the order provably cannot matter (e.g. the result is sorted
+// immediately afterwards) — annotate the loop with `//lint:ordered
+// <why>` on or directly above the for statement.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration whose body schedules events, appends/sends results, " +
+		"or accumulates floats; sort keys first or annotate with //lint:ordered",
+	Run: runMaporder,
+}
+
+// schedulingMethods are method names that enqueue work on the
+// simulation kernel; calling one per map entry makes the event order
+// map-order dependent. A callback argument is also required, which
+// distinguishes Kernel.At(t, fn) from getters like Timer.At().
+var schedulingMethods = map[string]bool{
+	"Schedule": true,
+	"At":       true,
+	"Every":    true,
+}
+
+func runMaporder(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if p.hasOrderedAnnotation(rs.For) {
+				return true
+			}
+			if hazard := mapLoopHazard(p, rs, sortedAfter(p, parents, rs)); hazard != "" {
+				out = append(out, p.diag("maporder", rs.For,
+					"map iteration order is randomized per run, and this loop body %s; "+
+						"sort the keys into a slice first or annotate with //lint:ordered <why>", hazard))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mapLoopHazard describes the first order-sensitive operation found in
+// the body of a map-range loop, or "" if the body is order-neutral.
+// sorted holds slices that are sorted immediately after the loop;
+// appending to those is the sanctioned collect-then-sort idiom.
+func mapLoopHazard(p *Package, rs *ast.RangeStmt, sorted map[types.Object]bool) string {
+	var hazard string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && schedulingMethods[sel.Sel.Name] &&
+				p.Info.Selections[sel] != nil && // a method call, not a package function
+				hasFuncArg(p, n) {
+				hazard = "schedules simulation events (." + sel.Sel.Name + ")"
+			}
+		case *ast.SendStmt:
+			hazard = "sends on a channel"
+		case *ast.AssignStmt:
+			hazard = assignHazard(p, rs, n, sorted)
+		}
+		return hazard == ""
+	})
+	return hazard
+}
+
+// assignHazard classifies an assignment inside a map-range body:
+// appending to a slice that outlives the loop, or compound float
+// accumulation (rounding makes float addition order-dependent; exact
+// integer accumulation is commutative and fine).
+func assignHazard(p *Package, rs *ast.RangeStmt, as *ast.AssignStmt, sorted map[types.Object]bool) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if isFloat(p.Info.TypeOf(lhs)) {
+				return "accumulates floating-point values"
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			if !isAppendCall(p, rhs) || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.ObjectOf(id)
+			if obj == nil || sorted[obj] {
+				continue
+			}
+			if obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End() {
+				return "appends to a slice declared outside the loop"
+			}
+		}
+	}
+	return ""
+}
+
+// sortedAfter collects the slices passed to sort/slices calls in the
+// statements immediately following the map-range loop: `for k := range m
+// { keys = append(keys, k) }; sort.Strings(keys)` is the canonical
+// deterministic iteration idiom and must not be flagged.
+func sortedAfter(p *Package, parents map[ast.Node]ast.Node, rs *ast.RangeStmt) map[types.Object]bool {
+	var stmts []ast.Stmt
+	switch blk := parents[rs].(type) {
+	case *ast.BlockStmt:
+		stmts = blk.List
+	case *ast.CaseClause:
+		stmts = blk.Body
+	case *ast.CommClause:
+		stmts = blk.Body
+	default:
+		return nil
+	}
+	idx := -1
+	for i, s := range stmts {
+		if s == ast.Stmt(rs) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	sorted := make(map[types.Object]bool)
+	for _, s := range stmts[idx+1:] {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			break
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isSortCall(p, call.Fun) {
+			break
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				sorted[obj] = true
+				continue
+			}
+		}
+		break
+	}
+	return sorted
+}
+
+// isSortCall reports whether fun selects a function from package sort or
+// slices.
+func isSortCall(p *Package, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "sort" || path == "slices"
+}
+
+// hasFuncArg reports whether any argument of the call is a function
+// value (the callback being scheduled).
+func hasFuncArg(p *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if t := p.Info.TypeOf(arg); t != nil {
+			if _, ok := t.Underlying().(*types.Signature); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isAppendCall(p *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,23 @@
+// Package fixture seeds float-equality violations for the floateq
+// analyzer.
+package fixture
+
+// Bad branches on exact float equality.
+func Bad(omega, usage float64) bool {
+	if omega == usage {
+		return true
+	}
+	return usage != 0.5
+}
+
+// Good compares against the zero sentinel or a tolerance.
+func Good(sigma, eps float64) bool {
+	if sigma == 0 { // unset sentinel: exact, and exempt
+		return false
+	}
+	d := sigma - 1
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

@@ -1,0 +1,28 @@
+// Package fixture seeds global-randomness violations for the globalrand
+// analyzer.
+package fixture
+
+import "math/rand"
+
+// Bad draws from the process-global source.
+func Bad(n int) int {
+	x := rand.Intn(n)
+	rand.Shuffle(n, func(i, j int) {})
+	return x + int(rand.Int63())
+}
+
+// BadNew hides the seed behind an opaque source value.
+func BadNew(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}
+
+// Good plumbs an explicitly seeded generator.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodParam draws from a generator the caller seeded.
+func GoodParam(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

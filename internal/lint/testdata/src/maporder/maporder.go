@@ -1,0 +1,84 @@
+// Package fixture seeds unordered-map-iteration hazards for the
+// maporder analyzer.
+package fixture
+
+import "sort"
+
+type kernel struct{}
+
+func (kernel) Schedule(d int, fn func()) {}
+
+// BadSchedule makes simulation event order depend on map order.
+func BadSchedule(k kernel, m map[int]func()) {
+	for d, fn := range m {
+		k.Schedule(d, fn)
+	}
+}
+
+// BadAppend collects results in map order.
+func BadAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// BadFloat accumulates rounding in map order.
+func BadFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// BadSend publishes results in map order.
+func BadSend(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// GoodSorted uses the canonical collect-then-sort idiom.
+func GoodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodAnnotated is exempt: the justification rides on the loop.
+func GoodAnnotated(m map[string]int) []int {
+	var vals []int
+	//lint:ordered the caller treats the result as an unordered set
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// GoodIntSum is order-neutral: integer accumulation is exact.
+func GoodIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type timer struct{}
+
+func (timer) At() int { return 0 }
+
+// GoodGetter calls an At getter — no callback argument, so nothing is
+// scheduled.
+func GoodGetter(m map[string]int, t timer) int {
+	n := 0
+	for range m {
+		n += t.At()
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+// Package fixture seeds concurrency violations for the noconcurrency
+// analyzer.
+package fixture
+
+import "sync"
+
+// Bad smuggles scheduler-dependent interleaving into kernel code.
+func Bad(fns []func()) int {
+	var mu sync.Mutex
+	done := make(chan int, len(fns))
+	for _, fn := range fns {
+		go func() {
+			mu.Lock()
+			defer mu.Unlock()
+			fn()
+			done <- 1
+		}()
+	}
+	total := 0
+	for range fns {
+		total += <-done
+	}
+	return total
+}
+
+// Good runs callbacks synchronously, one at a time.
+func Good(fns []func()) int {
+	for _, fn := range fns {
+		fn()
+	}
+	return len(fns)
+}

@@ -1,0 +1,19 @@
+// Package fixture seeds wall-clock violations for the walltime analyzer.
+package fixture
+
+import "time"
+
+// Bad reads and waits on the machine clock.
+func Bad() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	timer := time.NewTimer(time.Second)
+	timer.Stop()
+	return time.Since(start)
+}
+
+// Good sticks to duration arithmetic, which is allowed.
+func Good() time.Duration {
+	d := 3 * time.Millisecond
+	return d.Round(time.Microsecond)
+}

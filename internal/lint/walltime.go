@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// bannedWalltime maps forbidden time-package functions to the simulated
+// replacement. Durations and constants (time.Duration, time.Millisecond)
+// are allowed — only the functions that read or wait on the machine
+// clock break replayability.
+var bannedWalltime = map[string]string{
+	"Now":       "sim.Kernel.Now",
+	"Since":     "arithmetic on sim.Time",
+	"Until":     "arithmetic on sim.Time",
+	"Sleep":     "sim.Kernel.Schedule",
+	"After":     "sim.Kernel.Schedule",
+	"AfterFunc": "sim.Kernel.Schedule",
+	"NewTimer":  "sim.Kernel.Schedule",
+	"NewTicker": "sim.Kernel.Every",
+	"Tick":      "sim.Kernel.Every",
+}
+
+// Walltime forbids reading or waiting on the machine clock in simulation
+// code: one time.Now in a scheduling path makes runs unreplayable.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbids wall-clock time (time.Now/Since/Sleep/After/NewTimer/...); " +
+		"simulated time must come from the sim.Kernel clock",
+	Run: runWalltime,
+}
+
+func runWalltime(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if repl, banned := bannedWalltime[fn.Name()]; banned {
+				out = append(out, p.diag("walltime", sel.Pos(),
+					"time.%s reads the wall clock and breaks replayability; use %s", fn.Name(), repl))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -61,6 +61,34 @@ func (d *Dispatcher) HandleFrom(kind string, from *Node, h func(from *Node, body
 	return nil
 }
 
+// Unhandle removes the catch-all handler for kind. It reports whether a
+// handler was registered. Sender-scoped handlers are unaffected.
+func (d *Dispatcher) Unhandle(kind string) bool {
+	if _, ok := d.handlers[kind]; !ok {
+		return false
+	}
+	delete(d.handlers, kind)
+	return true
+}
+
+// UnhandleFrom removes the sender-scoped handler for kind from the given
+// node (e.g. a multi-server client tearing down one per-server QoS
+// engine). It reports whether a handler was registered.
+func (d *Dispatcher) UnhandleFrom(kind string, from *Node) bool {
+	byFrom, ok := d.scoped[kind]
+	if !ok {
+		return false
+	}
+	if _, ok := byFrom[from]; !ok {
+		return false
+	}
+	delete(byFrom, from)
+	if len(byFrom) == 0 {
+		delete(d.scoped, kind)
+	}
+	return true
+}
+
 func (d *Dispatcher) dispatch(from *Node, payload any) {
 	msg, ok := payload.(Message)
 	if !ok {
