@@ -16,10 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"github.com/haechi-qos/haechi/internal/cluster"
+	"github.com/haechi-qos/haechi/internal/core"
 	"github.com/haechi-qos/haechi/internal/experiments"
+	"github.com/haechi-qos/haechi/internal/trace"
 )
 
 func main() {
@@ -40,6 +44,9 @@ func run(args []string) int {
 		records    = fs.Int("records", 0, "records populated in the KV store (default 4096)")
 		seed       = fs.Int64("seed", 0, "random seed (default 42)")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
+		traceOut   = fs.String("trace", "", "write per-I/O spans as Chrome trace_event JSON (open in Perfetto); multi-run experiments get -NN suffixes")
+		traceSpans = fs.Int("trace-spans", 10000, "span ring capacity for -trace (histograms always cover every span)")
+		metricsOut = fs.String("metrics", "", "write sampled metrics as CSV; multi-run experiments get -NN suffixes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,17 +80,29 @@ func run(args []string) int {
 		opts.Seed = *seed
 	}
 
+	exp := &exporter{traceOut: *traceOut, metricsOut: *metricsOut}
+	if *traceOut != "" || *metricsOut != "" {
+		ob := &cluster.Observe{OnResults: exp.capture}
+		if *traceOut != "" {
+			ob.FlightSpans = *traceSpans
+		}
+		if *metricsOut != "" {
+			ob.MetricsInterval = cluster.DefaultMetricsInterval(core.NewDefaultParams().Period)
+		}
+		opts.Observe = ob
+	}
+
 	switch {
 	case *all:
 		for _, id := range experiments.Order {
-			if err := runOne(id, opts, *csvDir); err != nil {
+			if err := runOne(id, opts, *csvDir, exp); err != nil {
 				fmt.Fprintf(os.Stderr, "haechibench: %s: %v\n", id, err)
 				return 1
 			}
 		}
 		return 0
 	case *experiment != "":
-		if err := runOne(*experiment, opts, *csvDir); err != nil {
+		if err := runOne(*experiment, opts, *csvDir, exp); err != nil {
 			fmt.Fprintf(os.Stderr, "haechibench: %v\n", err)
 			return 1
 		}
@@ -95,7 +114,7 @@ func run(args []string) int {
 	}
 }
 
-func runOne(id string, opts experiments.Options, csvDir string) error {
+func runOne(id string, opts experiments.Options, csvDir string, exp *exporter) error {
 	start := time.Now()
 	rep, err := experiments.Run(id, opts)
 	if err != nil {
@@ -109,7 +128,78 @@ func runOne(id string, opts experiments.Options, csvDir string) error {
 		}
 		fmt.Printf("csv: %v"+"\n", paths)
 	}
+	if err := exp.flush(); err != nil {
+		return err
+	}
 	fmt.Printf("[%s completed in %v at scale %.0f, %d+%d periods]\n\n",
 		rep.ID, time.Since(start).Round(time.Millisecond), opts.Scale, opts.WarmupPeriods, opts.MeasurePeriods)
 	return nil
+}
+
+// exporter captures each cluster run's Results through the Observe hook
+// and writes the observability artifacts after the experiment finishes.
+// Experiments that compare modes run several clusters; the first run
+// gets the exact -trace/-metrics filename, later ones a -NN suffix.
+type exporter struct {
+	traceOut   string
+	metricsOut string
+	written    int
+	pending    []*cluster.Results
+}
+
+func (e *exporter) capture(res *cluster.Results) {
+	if e.traceOut == "" && e.metricsOut == "" {
+		return
+	}
+	e.pending = append(e.pending, res)
+}
+
+// suffixed numbers artifact paths past the first: out.json, out-02.json…
+func suffixed(path string, n int) string {
+	if n == 0 {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s-%02d%s", strings.TrimSuffix(path, ext), n+1, ext)
+}
+
+func (e *exporter) flush() error {
+	for _, res := range e.pending {
+		if e.traceOut != "" && res.Flight != nil {
+			path := suffixed(e.traceOut, e.written)
+			if err := writeFile(path, func(f *os.File) error {
+				return trace.WriteChromeTrace(f, res.Flight, nil)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("trace: %s (%d spans, mode=%s)\n", path, res.Flight.Finished(), res.Mode)
+		}
+		if e.metricsOut != "" && res.Metrics != nil {
+			path := suffixed(e.metricsOut, e.written)
+			if err := writeFile(path, func(f *os.File) error {
+				return res.Metrics.WriteCSV(f)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("metrics: %s (%d samples, mode=%s)\n", path, res.Metrics.Samples(), res.Mode)
+		}
+		if tbl := res.StageBreakdown(); tbl != "" {
+			fmt.Printf("mode=%s %s", res.Mode, tbl)
+		}
+		e.written++
+	}
+	e.pending = e.pending[:0]
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -35,8 +35,9 @@ func run(args []string, out *os.File) int {
 		periods  = fs.Int("periods", 5, "measured periods")
 		records  = fs.Int("records", 4096, "records populated")
 		seed     = fs.Int64("seed", 1, "random seed")
-		congest  = fs.Int("congest-at", 0, "start background congestion at this measured period (0 = none)")
-		traceCap = fs.Int("trace", 0, "record and dump the last N protocol events (QoS modes)")
+		congest   = fs.Int("congest-at", 0, "start background congestion at this measured period (0 = none)")
+		traceCap  = fs.Int("trace", 0, "record and dump the last N protocol events (QoS modes)")
+		traceDump = fs.String("trace-dump", "", "record per-I/O spans and write them as Chrome trace_event JSON to this file (open in Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,6 +55,9 @@ func run(args []string, out *os.File) int {
 		Records:        *records,
 		Seed:           *seed,
 		TraceEvents:    *traceCap,
+	}
+	if *traceDump != "" {
+		cfg.FlightSpans = 10000
 	}
 	sys, err := haechi.New(cfg, tenants)
 	if err != nil {
@@ -82,6 +86,26 @@ func run(args []string, out *os.File) int {
 			fmt.Fprintf(os.Stderr, "haechikv: dumping trace: %v"+"\n", err)
 			return 1
 		}
+	}
+	if *traceDump != "" {
+		if tbl := sys.StageBreakdown(); tbl != "" {
+			fmt.Fprintln(out)
+			fmt.Fprint(out, tbl)
+		}
+		f, err := os.Create(*traceDump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haechikv: %v\n", err)
+			return 1
+		}
+		err = sys.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haechikv: writing trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "trace written to %s (open in ui.perfetto.dev)\n", *traceDump)
 	}
 	return 0
 }

@@ -85,6 +85,21 @@ func TestPatternFilter(t *testing.T) {
 	}
 }
 
+// TestFlightFixtureClean: the span-recording idioms the observability
+// layer relies on — clock stamping inside scheduled callbacks,
+// completion-callback wrapping, collect-then-sort over a per-actor
+// stats map — pass the full kernel-package rule set with zero findings.
+func TestFlightFixtureClean(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "flightmod"))
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean fixture produced findings:\n%s", stdout.String())
+	}
+}
+
 func TestMatchPattern(t *testing.T) {
 	tests := []struct {
 		pat, rel string

@@ -1,0 +1,3 @@
+module flightmod
+
+go 1.22

@@ -1,0 +1,41 @@
+// Package sim stands in for the simulation kernel: a virtual clock and
+// an event list, with no wall-clock time anywhere.
+package sim
+
+// Time is virtual nanoseconds.
+type Time int64
+
+// Kernel is a minimal single-threaded event loop.
+type Kernel struct {
+	now    Time
+	events []event
+}
+
+type event struct {
+	at Time
+	fn func()
+}
+
+// Now returns the virtual clock.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule queues fn to run after delay.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.events = append(k.events, event{at: k.now + delay, fn: fn})
+}
+
+// Run drains the event list in order.
+func (k *Kernel) Run() {
+	for len(k.events) > 0 {
+		best := 0
+		for i, ev := range k.events[1:] {
+			if ev.at < k.events[best].at {
+				best = i + 1
+			}
+		}
+		ev := k.events[best]
+		k.events = append(k.events[:best], k.events[best+1:]...)
+		k.now = ev.at
+		ev.fn()
+	}
+}

@@ -25,7 +25,9 @@ func main() {
 			DemandPerPeriod: 31_000,
 		}
 	}
-	sys, err := haechi.New(haechi.Config{Scale: scale, MeasurePeriods: periods}, tenants)
+	// Record protocol events so the run is not blind: the summary line
+	// at the end shows capacity updates and token traffic.
+	sys, err := haechi.New(haechi.Config{Scale: scale, MeasurePeriods: periods, TraceEvents: 4096}, tenants)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,6 +58,7 @@ func main() {
 		fmt.Printf("%4d   %10.0f   %s\n", p+1, v, phase)
 	}
 	fmt.Printf("\nfinal capacity estimate: %d I/Os per period\n", rep.EstimatedCapacity)
+	fmt.Println(sys.TraceSummary())
 	fmt.Println("throughput dips while the background jobs run, then recovers as the")
 	fmt.Println("estimator climbs back (+eta per period) — the paper's Figs. 16-19.")
 }

@@ -113,6 +113,14 @@ type Config struct {
 	// (token pushes, claims, yields, pool caps, reports, capacity
 	// updates); inspect them after Run with TraceSummary and DumpTrace.
 	TraceEvents int
+	// FlightSpans, when positive, records a pipeline span for every
+	// I/O (the last N are retained for WriteChromeTrace; the per-stage
+	// breakdown covers all of them). Works in every mode.
+	FlightSpans int
+	// MetricsInterval, when positive, samples a metrics registry
+	// (kernel, NIC, engine, KV gauges) every interval of virtual time;
+	// export after Run with WriteMetricsCSV.
+	MetricsInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +151,7 @@ type System struct {
 	names   []string
 	cluster *cluster.Cluster
 	rec     *trace.Recorder
+	results *cluster.Results
 	ran     bool
 }
 
@@ -173,6 +182,12 @@ func New(cfg Config, tenants []Tenant) (*System, error) {
 	}
 	ccfg.Store = kvstore.Options{Capacity: storeCap, RecordSize: 4096}
 	ccfg.Records = cfg.Records
+	if cfg.FlightSpans > 0 || cfg.MetricsInterval > 0 {
+		ccfg.Observe = &cluster.Observe{
+			FlightSpans:     cfg.FlightSpans,
+			MetricsInterval: sim.Time(cfg.MetricsInterval),
+		}
+	}
 
 	var names []string
 	var specs []cluster.ClientSpec
@@ -309,7 +324,38 @@ func (s *System) Run() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.results = res
 	return buildReport(s, res), nil
+}
+
+// WriteChromeTrace writes the recorded I/O spans (and protocol events,
+// when TraceEvents is on) as Chrome trace_event JSON — open the file in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Requires FlightSpans
+// and a completed Run.
+func (s *System) WriteChromeTrace(w io.Writer) error {
+	if s.results == nil || s.results.Flight == nil {
+		return fmt.Errorf("haechi: no spans recorded (set Config.FlightSpans and call Run first)")
+	}
+	return trace.WriteChromeTrace(w, s.results.Flight, s.rec)
+}
+
+// WriteMetricsCSV writes the sampled metrics registry as CSV. Requires
+// MetricsInterval and a completed Run.
+func (s *System) WriteMetricsCSV(w io.Writer) error {
+	if s.results == nil || s.results.Metrics == nil {
+		return fmt.Errorf("haechi: no metrics sampled (set Config.MetricsInterval and call Run first)")
+	}
+	return s.results.Metrics.WriteCSV(w)
+}
+
+// StageBreakdown renders the per-tenant per-stage latency table from
+// the recorded spans, or "" when FlightSpans is off or Run has not
+// completed.
+func (s *System) StageBreakdown() string {
+	if s.results == nil {
+		return ""
+	}
+	return s.results.StageBreakdown()
 }
 
 // Latency summarizes request latency (submission to completion, including

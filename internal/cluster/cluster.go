@@ -46,6 +46,11 @@ type Cluster struct {
 	barePeriod  int
 	bgJobs      map[string]*rdma.BackgroundJob
 	serverStat0 rdma.Stats
+
+	// flight and registry are the observability layer (nil unless
+	// cfg.Observe enables them); see observe.go.
+	flight   *trace.FlightRecorder
+	registry *metrics.Registry
 }
 
 // New assembles a cluster for the given tenant specs. In QoS modes every
@@ -114,6 +119,9 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 		if err := c.addClient(i, spec); err != nil {
 			return nil, fmt.Errorf("cluster: client %d: %w", i, err)
 		}
+	}
+	if err := c.setupObserve(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -283,6 +291,14 @@ func (c *Cluster) AddBackgroundJob(name string, window int) (*rdma.BackgroundJob
 
 // At schedules fn at absolute virtual time t (e.g. congestion onset).
 func (c *Cluster) At(t sim.Time, fn func()) { c.kernel.At(t, fn) }
+
+// FlightRecorder returns the per-I/O span recorder, nil unless enabled
+// via Config.Observe.
+func (c *Cluster) FlightRecorder() *trace.FlightRecorder { return c.flight }
+
+// Metrics returns the sampled metrics registry, nil unless enabled via
+// Config.Observe.
+func (c *Cluster) Metrics() *metrics.Registry { return c.registry }
 
 // EnableTrace attaches a shared protocol-event recorder (ring of the
 // given capacity) to the monitor and every engine, and returns it. QoS

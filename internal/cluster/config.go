@@ -105,6 +105,9 @@ type Config struct {
 	AlertAfter int
 	// Seed drives all randomness.
 	Seed int64
+	// Observe enables the observability layer (flight-recorder spans
+	// and metrics sampling); nil disables it. See Observe.
+	Observe *Observe
 }
 
 // NewDefaultConfig returns a full-scale Haechi testbed configuration.

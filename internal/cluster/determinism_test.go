@@ -29,6 +29,13 @@ func TestDeterminismByteIdentical(t *testing.T) {
 		specs[5].Pattern = workload.Poisson{}
 		cfg := testConfig(Haechi)
 		cfg.Seed = 42
+		// Observability on: span recording and metrics sampling must not
+		// perturb the event order, and their serialized forms (Stages,
+		// Metrics) must themselves be byte-deterministic.
+		cfg.Observe = &Observe{
+			FlightSpans:     2048,
+			MetricsInterval: DefaultMetricsInterval(cfg.Params.Period),
+		}
 		cl, err := New(cfg, specs)
 		if err != nil {
 			t.Fatal(err)
@@ -45,18 +52,69 @@ func TestDeterminismByteIdentical(t *testing.T) {
 	}
 	a, b := run(), run()
 	if !bytes.Equal(a, b) {
-		i := 0
-		for i < len(a) && i < len(b) && a[i] == b[i] {
-			i++
-		}
-		lo, hi := max(0, i-60), i+60
-		ctx := func(s []byte) string {
-			if lo >= len(s) {
-				return ""
-			}
-			return string(s[lo:min(hi, len(s))])
-		}
-		t.Fatalf("same seed, different serialized results (lengths %d vs %d); first divergence at byte %d:\n  run A: …%s…\n  run B: …%s…",
-			len(a), len(b), i, ctx(a), ctx(b))
+		reportDivergence(t, a, b)
 	}
+}
+
+// TestObservabilityInert proves the flight recorder and metrics sampler
+// observe without perturbing: the simulated outcome with observability
+// enabled is identical to the outcome without it. (The metrics ticker
+// does add kernel events, but pure samplers cannot shift any existing
+// event's time or order; span recording adds no events at all.)
+func TestObservabilityInert(t *testing.T) {
+	run := func(observe bool) []byte {
+		specs := make([]ClientSpec, 4)
+		for i := range specs {
+			specs[i] = ClientSpec{Reservation: 1200, Demand: ConstantDemand(1500)}
+		}
+		specs[3].Pattern = workload.Poisson{}
+		cfg := testConfig(Haechi)
+		cfg.Seed = 7
+		if observe {
+			cfg.Observe = &Observe{
+				FlightSpans:     1024,
+				MetricsInterval: DefaultMetricsInterval(cfg.Params.Period),
+			}
+		}
+		cl, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip the observability payloads; everything else — every
+		// count, percentile and timeline — must match the blind run.
+		res.Stages = nil
+		res.Metrics = nil
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	blind, observed := run(false), run(true)
+	if !bytes.Equal(blind, observed) {
+		reportDivergence(t, blind, observed)
+	}
+}
+
+// reportDivergence fails the test showing context around the first
+// differing byte of two serialized Results.
+func reportDivergence(t *testing.T, a, b []byte) {
+	t.Helper()
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo, hi := max(0, i-60), i+60
+	ctx := func(s []byte) string {
+		if lo >= len(s) {
+			return ""
+		}
+		return string(s[lo:min(hi, len(s))])
+	}
+	t.Fatalf("observability/seed mismatch: different serialized results (lengths %d vs %d); first divergence at byte %d:\n  run A: …%s…\n  run B: …%s…",
+		len(a), len(b), i, ctx(a), ctx(b))
 }

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/haechi-qos/haechi/internal/metrics"
+	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/trace"
+)
+
+// Observe configures the observability layer for a cluster run: per-I/O
+// flight-recorder spans and a pull-based metrics registry, both stamped
+// and sampled from the simulation clock. Recording is passive — it
+// never schedules kernel events of its own — so enabling it does not
+// change the simulated outcome (cluster.TestDeterminismByteIdentical
+// runs with it on).
+type Observe struct {
+	// FlightSpans is the span ring capacity: the most recent finished
+	// spans are retained for Chrome-trace export, while the per-stage
+	// latency histograms cover every span regardless of eviction.
+	// 0 disables span recording.
+	FlightSpans int
+	// MetricsInterval is the registry sampling cadence in virtual time.
+	// 0 disables the registry.
+	MetricsInterval sim.Time
+	// OnResults, when set, receives the Results of each run before
+	// Run returns. CLIs use it to capture traces from experiments that
+	// construct several clusters internally.
+	OnResults func(*Results)
+}
+
+// DefaultMetricsInterval returns a sampling cadence of 1/100th of the
+// QoS period — fine enough to see within-period dynamics, coarse
+// enough to keep exports small.
+func DefaultMetricsInterval(period sim.Time) sim.Time {
+	iv := period / 100
+	if iv <= 0 {
+		iv = 1
+	}
+	return iv
+}
+
+// setupObserve attaches the flight recorder and metrics registry per
+// the config. Called at the end of New, once all nodes, engines and
+// generators exist.
+func (c *Cluster) setupObserve() error {
+	ob := c.cfg.Observe
+	if ob == nil {
+		return nil
+	}
+	if ob.FlightSpans > 0 {
+		fr, err := trace.NewFlightRecorder(ob.FlightSpans)
+		if err != nil {
+			return err
+		}
+		c.fabric.SetFlightRecorder(fr)
+		c.flight = fr
+	}
+	if ob.MetricsInterval > 0 {
+		c.registry = metrics.NewRegistry()
+		if err := c.registerMetrics(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registerMetrics registers the standing gauges: kernel health, every
+// node's NIC (and the server's CPU), monitor state, per-engine token
+// state, and per-client KV and workload progress. Registration order is
+// fixed by construction order, so exports are deterministic.
+func (c *Cluster) registerMetrics() error {
+	reg := c.registry
+	k := c.kernel
+	add := func(name string, fn func() float64) error { return reg.Register(name, fn) }
+
+	if err := add("sim/pending-events", func() float64 { return float64(k.Pending()) }); err != nil {
+		return err
+	}
+	if err := add("sim/executed-events", func() float64 { return float64(k.Executed()) }); err != nil {
+		return err
+	}
+	if err := add("sim/cancelled-timers", func() float64 { return float64(k.Cancelled()) }); err != nil {
+		return err
+	}
+	for _, n := range c.fabric.Nodes() {
+		nic := n.NIC()
+		if err := add(n.Name()+"/nic/served", func() float64 { return float64(nic.Served()) }); err != nil {
+			return err
+		}
+		if err := add(n.Name()+"/nic/queue-delay-ns", func() float64 { return float64(nic.QueueDelay()) }); err != nil {
+			return err
+		}
+		if cpu := n.CPU(); cpu != nil {
+			if err := add(n.Name()+"/cpu/served", func() float64 { return float64(cpu.Served()) }); err != nil {
+				return err
+			}
+		}
+	}
+	if c.monitor != nil {
+		if err := add("monitor/omega", func() float64 { return float64(c.monitor.Estimator().Current()) }); err != nil {
+			return err
+		}
+		if err := add("monitor/conversions", func() float64 { return float64(c.monitor.ConversionCount) }); err != nil {
+			return err
+		}
+	}
+	for _, rt := range c.clients {
+		rt := rt
+		name := rt.Node.Name()
+		if rt.Engine != nil {
+			if err := add(name+"/engine/pending", func() float64 { return float64(rt.Engine.Pending()) }); err != nil {
+				return err
+			}
+			if err := add(name+"/engine/res-tokens", func() float64 { return float64(rt.Engine.ReservationTokens()) }); err != nil {
+				return err
+			}
+			if err := add(name+"/engine/local-global-tokens", func() float64 { return float64(rt.Engine.LocalGlobalTokens()) }); err != nil {
+				return err
+			}
+		}
+		if err := add(name+"/kv/one-sided-gets", func() float64 { return float64(rt.KV.OneSidedGets()) }); err != nil {
+			return err
+		}
+		if err := add(name+"/kv/probe-reads", func() float64 { return float64(rt.KV.ProbeReads()) }); err != nil {
+			return err
+		}
+		if err := add(name+"/workload/inflight", func() float64 { return float64(rt.Gen.Issued() - rt.Gen.Completed()) }); err != nil {
+			return err
+		}
+	}
+	if c.flight != nil {
+		if err := add("trace/spans-finished", func() float64 { return float64(c.flight.Finished()) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StageLatency is one tenant's latency summary for one pipeline stage,
+// the rows of the per-stage breakdown table.
+type StageLatency struct {
+	Client  string
+	Stage   string
+	Summary metrics.Summary
+}
+
+// stageRows flattens the flight recorder's per-tenant histograms into
+// deterministic rows: tenants sorted by name, stages in pipeline order.
+func stageRows(fr *trace.FlightRecorder) []StageLatency {
+	var out []StageLatency
+	for _, st := range fr.Stages() {
+		hs := st.Histograms()
+		for i, name := range trace.StageNames {
+			out = append(out, StageLatency{Client: st.Actor, Stage: name, Summary: hs[i].Summarize()})
+		}
+	}
+	return out
+}
+
+// StageBreakdown renders the per-stage latency table: one row per
+// tenant, one mean/p99 cell per pipeline stage. Durations are converted
+// back to full-scale equivalents (scaled runs inflate virtual time by
+// Scale). Returns "" when span recording was off or captured nothing.
+func (r *Results) StageBreakdown() string {
+	if len(r.Stages) == 0 {
+		return ""
+	}
+	scale := r.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	cell := func(s metrics.Summary) string {
+		if s.Count == 0 {
+			return "-"
+		}
+		mean := sim.Time(float64(s.Mean) / scale)
+		p99 := sim.Time(float64(s.P99) / scale)
+		return fmt.Sprintf("%v/%v", mean, p99)
+	}
+	cols := len(trace.StageNames) + 1
+	header := append([]string{"client"}, trace.StageNames...)
+	rows := [][]string{header}
+	row := make([]string, 0, cols)
+	for _, sl := range r.Stages {
+		if len(row) == 0 {
+			row = append(row, sl.Client)
+		}
+		row = append(row, cell(sl.Summary))
+		if len(row) == cols {
+			rows = append(rows, row)
+			row = make([]string, 0, cols)
+		}
+	}
+	widths := make([]int, cols)
+	for _, rw := range rows {
+		for i, c := range rw {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("per-stage latency (mean/p99, full-scale equivalent):\n")
+	for _, rw := range rows {
+		for i, c := range rw {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/haechi-qos/haechi/internal/metrics"
 	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/trace"
 )
 
 // ClientResult is one tenant's measured outcome.
@@ -64,6 +65,19 @@ type Results struct {
 	ServerStats rdma.Stats
 	// Overhead quantifies QoS control cost.
 	Overhead OverheadReport
+	// Scale echoes the config's scale factor, so latency renderings can
+	// convert back to full-scale equivalents.
+	Scale float64
+	// Stages is the per-tenant per-stage latency breakdown from the
+	// flight recorder; nil unless Config.Observe enabled span recording.
+	Stages []StageLatency `json:",omitempty"`
+	// Metrics is the sampled registry; nil unless enabled. It marshals
+	// deterministically (registration order).
+	Metrics *metrics.Registry `json:",omitempty"`
+	// Flight is the span recorder for trace export. Excluded from JSON:
+	// the ring is bounded (eviction order is deterministic but the
+	// retained window is an export concern, not a result).
+	Flight *trace.FlightRecorder `json:"-"`
 }
 
 func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) *Results {
@@ -71,7 +85,13 @@ func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) *Resu
 		Mode:            c.cfg.Mode,
 		MeasuredPeriods: measurePeriods,
 		ServerStats:     serverStats,
+		Scale:           c.cfg.Scale,
 	}
+	if c.flight != nil {
+		res.Flight = c.flight
+		res.Stages = stageRows(c.flight)
+	}
+	res.Metrics = c.registry
 	var agg metrics.Histogram
 	var totalFAA, totalReports, totalSends uint64
 	for i, rt := range c.clients {

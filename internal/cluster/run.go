@@ -37,6 +37,17 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 		}
 	}
 
+	var metricsTicker *sim.Ticker
+	if c.registry != nil {
+		t, err := k.Every(0, c.cfg.Observe.MetricsInterval, func() {
+			c.registry.Sample(k.Now())
+		})
+		if err != nil {
+			return nil, err
+		}
+		metricsTicker = t
+	}
+
 	warmEnd := start + sim.Time(warmupPeriods)*T
 	measureEnd := warmEnd + sim.Time(measurePeriods)*T
 	k.At(warmEnd, func() {
@@ -59,6 +70,9 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 	k.RunUntil(measureEnd + 3*T/4)
 	serverStats := c.server.Stats().Sub(c.serverStat0)
 
+	if metricsTicker != nil {
+		metricsTicker.Stop()
+	}
 	if c.bareTicker != nil {
 		c.bareTicker.Stop()
 	}
@@ -71,5 +85,9 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 			rt.Engine.Stop()
 		}
 	}
-	return c.buildResults(measurePeriods, serverStats), nil
+	res := c.buildResults(measurePeriods, serverStats)
+	if ob := c.cfg.Observe; ob != nil && ob.OnResults != nil {
+		ob.OnResults(res)
+	}
+	return res, nil
 }

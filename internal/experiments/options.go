@@ -27,6 +27,12 @@ type Options struct {
 	Records int
 	// Seed drives all randomness.
 	Seed int64
+	// Observe, when non-nil, enables the observability layer (per-I/O
+	// flight-recorder spans, metrics sampling) on every cluster the
+	// experiment constructs. Use its OnResults hook to capture each
+	// run's Results — experiments that compare modes run several
+	// clusters internally, and each one reports through the hook.
+	Observe *cluster.Observe
 }
 
 // NewDefaultOptions returns the fast defaults.
@@ -92,6 +98,7 @@ func (o Options) baseConfig(mode cluster.Mode) cluster.Config {
 	cfg.Store = kvstore.Options{Capacity: storeCap, RecordSize: 4096}
 	cfg.Records = o.Records
 	cfg.Seed = o.Seed
+	cfg.Observe = o.Observe
 	return cfg
 }
 

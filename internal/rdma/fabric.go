@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/trace"
 )
 
 // NodeKind distinguishes the two roles in the performance model.
@@ -68,6 +69,10 @@ func (n *Node) Stats() Stats { return n.stats }
 // congestion scenarios).
 func (n *Node) NIC() *sim.Station { return n.nic }
 
+// CPU exposes the node's two-sided processing station; nil for client
+// nodes.
+func (n *Node) CPU() *sim.Station { return n.cpu }
+
 // SetRecvHandler installs the handler invoked when a two-sided SEND is
 // delivered to this node. For server nodes the handler runs after CPU
 // processing; for client nodes it runs on NIC delivery.
@@ -99,6 +104,15 @@ type Fabric struct {
 	k     *sim.Kernel
 	cfg   Config
 	nodes []*Node
+
+	// flight, when non-nil, records a per-verb pipeline span for every
+	// operation initiated on the fabric. Recording only stamps
+	// timestamps inside callbacks the fabric executes anyway, so the
+	// kernel event sequence is unchanged (DESIGN.md §7).
+	flight *trace.FlightRecorder
+	// qpSeq numbers queue pairs in creation order; the id is the span
+	// track within the initiator's process in Chrome trace exports.
+	qpSeq int
 }
 
 // NewFabric creates a fabric on kernel k with the given performance model.
@@ -111,6 +125,13 @@ func NewFabric(k *sim.Kernel, cfg Config) (*Fabric, error) {
 
 // Kernel returns the simulation kernel driving this fabric.
 func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// SetFlightRecorder attaches (or, with nil, detaches) a flight recorder
+// that will receive a span for every verb initiated from now on.
+func (f *Fabric) SetFlightRecorder(fr *trace.FlightRecorder) { f.flight = fr }
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (f *Fabric) FlightRecorder() *trace.FlightRecorder { return f.flight }
 
 // Config returns the fabric's performance model.
 func (f *Fabric) Config() Config { return f.cfg }
@@ -168,8 +189,10 @@ func (f *Fabric) Connect(initiator, target *Node) (*QP, error) {
 	if initiator.fabric != f || target.fabric != f {
 		return nil, fmt.Errorf("rdma: Connect across fabrics (%s -> %s)", initiator.name, target.name)
 	}
+	f.qpSeq++
 	return &QP{
 		fabric:    f,
+		id:        f.qpSeq,
 		initiator: initiator,
 		target:    target,
 		window:    f.cfg.FlowControlWindow,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/trace"
 )
 
 // QP is a queue pair: a unidirectional verb channel from an initiator node
@@ -18,6 +19,7 @@ import (
 // target CPU (for servers) and delivered to the node's receive handler.
 type QP struct {
 	fabric    *Fabric
+	id        int
 	initiator *Node
 	target    *Node
 
@@ -34,15 +36,30 @@ type QP struct {
 
 // flowOp is a data operation waiting for a flow-control credit. weight is
 // the target-side service weight; initWeight the initiator-side one.
+// span, when non-nil, is the flight-recorder span tracking the op.
 type flowOp struct {
 	weight     float64
 	initWeight float64
 	apply      func()
 	complete   func()
+	span       *trace.Span
 }
 
 // Initiator returns the initiating node.
 func (qp *QP) Initiator() *Node { return qp.initiator }
+
+// ID returns the queue pair's fabric-wide creation-order id.
+func (qp *QP) ID() int { return qp.id }
+
+// beginSpan starts a flight-recorder span for a verb posted on this QP,
+// or returns nil when recording is off.
+func (qp *QP) beginSpan(op trace.Op, control bool) *trace.Span {
+	fr := qp.fabric.flight
+	if fr == nil {
+		return nil
+	}
+	return fr.Begin(op, control, qp.initiator.name, qp.target.name, qp.id, qp.fabric.k.Now())
+}
 
 // Target returns the target node.
 func (qp *QP) Target() *Node { return qp.target }
@@ -78,9 +95,37 @@ func submitNIC(st *sim.Station, weight float64, control bool, done func()) {
 // target NIC and applies the op, then after propagation delivers the
 // completion. For loopback QPs the op traverses the NIC once and skips the
 // wire.
-func (qp *QP) initiate(initWeight, targetWeight float64, control bool, apply func(), complete func()) {
+//
+// When sp is non-nil the pipeline stamps the span's stage timestamps.
+// Stamps happen strictly inside callbacks the pipeline runs anyway and
+// the span is finished at the memory-effect instant when the caller
+// supplied no completion — recording never schedules an event of its
+// own, so the kernel's event sequence is identical with tracing on or
+// off.
+func (qp *QP) initiate(initWeight, targetWeight float64, control bool, sp *trace.Span, apply func(), complete func()) {
 	k := qp.fabric.k
 	prop := qp.fabric.cfg.PropagationDelay
+	if sp != nil {
+		fr := qp.fabric.flight
+		origApply, origComplete := apply, complete
+		if origComplete != nil {
+			apply = func() {
+				sp.Served = k.Now()
+				origApply()
+			}
+			complete = func() {
+				sp.Done = k.Now()
+				fr.Finish(sp)
+				origComplete()
+			}
+		} else {
+			apply = func() {
+				sp.Served = k.Now()
+				fr.Finish(sp)
+				origApply()
+			}
+		}
+	}
 	if qp.loopback() {
 		submitNIC(qp.initiator.nic, targetWeight, control, func() {
 			apply()
@@ -92,7 +137,13 @@ func (qp *QP) initiate(initWeight, targetWeight float64, control bool, apply fun
 	}
 	if control {
 		qp.initiator.nic.SubmitPriority(initWeight, func() {
+			if sp != nil {
+				sp.InitDone = k.Now()
+			}
 			k.Schedule(prop, func() {
+				if sp != nil {
+					sp.Arrived = k.Now()
+				}
 				qp.target.nic.SubmitPriority(targetWeight, func() {
 					apply()
 					if complete != nil {
@@ -108,6 +159,7 @@ func (qp *QP) initiate(initWeight, targetWeight float64, control bool, apply fun
 		initWeight: initWeight,
 		apply:      apply,
 		complete:   complete,
+		span:       sp,
 	})
 }
 
@@ -133,8 +185,17 @@ func (qp *QP) transmit(op flowOp) {
 	qp.inFlight++
 	k := qp.fabric.k
 	prop := qp.fabric.cfg.PropagationDelay
+	if op.span != nil {
+		op.span.Credit = k.Now()
+	}
 	qp.initiator.nic.SubmitWeighted(op.initWeight, func() {
+		if op.span != nil {
+			op.span.InitDone = k.Now()
+		}
 		k.Schedule(prop, func() {
+			if op.span != nil {
+				op.span.Arrived = k.Now()
+			}
 			qp.target.sched.enqueue(qp.serverQ, op)
 		})
 	})
@@ -166,7 +227,9 @@ func (qp *QP) Read(r *Region, off, size int, cb func(data []byte)) error {
 	qp.initiator.stats.Reads++
 	qp.initiator.stats.BytesRead += uint64(size)
 	qp.target.stats.OneSidedTargeted++
-	qp.initiate(w, w, qp.fabric.cfg.isControl(size), func() {}, func() {
+	control := qp.fabric.cfg.isControl(size)
+	sp := qp.beginSpan(trace.OpRead, control)
+	qp.initiate(w, w, control, sp, func() {}, func() {
 		cb(r.bytes(off, size))
 	})
 	return nil
@@ -188,7 +251,9 @@ func (qp *QP) Write(r *Region, off int, data []byte, cb func()) error {
 	qp.initiator.stats.Writes++
 	qp.initiator.stats.BytesWritten += uint64(len(buf))
 	qp.target.stats.OneSidedTargeted++
-	qp.initiate(w, w, qp.fabric.cfg.isControl(len(buf)), func() {
+	control := qp.fabric.cfg.isControl(len(buf))
+	sp := qp.beginSpan(trace.OpWrite, control)
+	qp.initiate(w, w, control, sp, func() {
 		copy(r.buf[off:], buf)
 	}, cb)
 	return nil
@@ -216,7 +281,8 @@ func (qp *QP) FetchAdd(r *Region, off int, delta int64, cb func(old int64)) erro
 	qp.initiator.stats.FetchAdds++
 	qp.target.stats.OneSidedTargeted++
 	var old int64
-	qp.initiate(w, w, true, func() {
+	sp := qp.beginSpan(trace.OpFetchAdd, true)
+	qp.initiate(w, w, true, sp, func() {
 		old = int64(binary.LittleEndian.Uint64(r.buf[off:]))
 		binary.LittleEndian.PutUint64(r.buf[off:], uint64(old+delta))
 	}, func() {
@@ -242,7 +308,8 @@ func (qp *QP) CompareSwap(r *Region, off int, expect, swap int64, cb func(old in
 	qp.initiator.stats.CompareSwaps++
 	qp.target.stats.OneSidedTargeted++
 	var old int64
-	qp.initiate(w, w, true, func() {
+	sp := qp.beginSpan(trace.OpCompareSwap, true)
+	qp.initiate(w, w, true, sp, func() {
 		old = int64(binary.LittleEndian.Uint64(r.buf[off:]))
 		if old == expect {
 			binary.LittleEndian.PutUint64(r.buf[off:], uint64(swap))
@@ -283,15 +350,37 @@ func (qp *QP) Send(payload any, size int, cb func()) error {
 	qp.initiator.stats.SendsSent++
 	qp.target.stats.SendsReceived++
 
-	deliver := func() {
-		qp.target.recv(qp.initiator, payload)
-		if cb != nil {
-			k.Schedule(prop, cb)
+	control := f.cfg.isControl(size)
+	fr := f.flight
+	sp := qp.beginSpan(trace.OpSend, control)
+	done := cb
+	if sp != nil && cb != nil {
+		done = func() {
+			sp.Done = k.Now()
+			fr.Finish(sp)
+			cb()
 		}
 	}
-	control := f.cfg.isControl(size)
+	deliver := func() {
+		if sp != nil {
+			sp.Served = k.Now()
+			if cb == nil {
+				fr.Finish(sp)
+			}
+		}
+		qp.target.recv(qp.initiator, payload)
+		if done != nil {
+			k.Schedule(prop, done)
+		}
+	}
 	submitNIC(qp.initiator.nic, initWeight, control, func() {
+		if sp != nil {
+			sp.InitDone = k.Now()
+		}
 		k.Schedule(prop, func() {
+			if sp != nil {
+				sp.Arrived = k.Now()
+			}
 			if qp.target.kind == ServerNode {
 				submitNIC(qp.target.nic, f.cfg.SendRequestWeight, true, func() {
 					qp.target.cpu.Submit(deliver)

@@ -76,6 +76,9 @@ func (s *rrScheduler) pump() {
 	s.inService = true
 	k := s.node.fabric.k
 	prop := s.node.fabric.cfg.PropagationDelay
+	if op.span != nil {
+		op.span.Service = k.Now()
+	}
 	s.node.nic.SubmitWeighted(op.weight, func() {
 		if op.apply != nil {
 			op.apply()

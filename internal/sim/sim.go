@@ -64,6 +64,7 @@ type event struct {
 
 // Timer is a handle to a scheduled event that can be canceled.
 type Timer struct {
+	k  *Kernel
 	ev *event
 }
 
@@ -76,6 +77,9 @@ func (t *Timer) Cancel() bool {
 	}
 	t.ev.canceled = true
 	t.ev.fn = nil // release the closure
+	if t.k != nil {
+		t.k.cancelled++
+	}
 	return true
 }
 
@@ -97,6 +101,8 @@ type Kernel struct {
 	rng     *rand.Rand
 	// executed counts events that have fired, for diagnostics.
 	executed uint64
+	// cancelled counts timers cancelled before firing, for diagnostics.
+	cancelled uint64
 }
 
 // New returns a kernel whose random source is seeded with seed. The same
@@ -115,6 +121,9 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Executed returns the number of events that have fired so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Cancelled returns the number of timers cancelled before firing.
+func (k *Kernel) Cancelled() uint64 { return k.cancelled }
 
 // Pending returns the number of events still queued (including canceled
 // events that have not yet been reaped).
@@ -138,7 +147,7 @@ func (k *Kernel) At(t Time, fn func()) *Timer {
 	ev := &event{at: t, seq: k.seq, fn: fn}
 	k.seq++
 	k.push(ev)
-	return &Timer{ev: ev}
+	return &Timer{k: k, ev: ev}
 }
 
 // Ticker repeatedly invokes a callback at a fixed interval until stopped.

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format, the JSON
+// understood by Perfetto and chrome://tracing. Timestamps and durations
+// are in microseconds (fractional, so nanosecond resolution survives).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func chromeUS(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// pidTable assigns stable integer pids to track names in order of first
+// appearance (spans and events are visited in their deterministic
+// recorded order, so the numbering is deterministic too).
+type pidTable struct {
+	ids   map[string]int
+	names []string
+}
+
+func (p *pidTable) id(name string) int {
+	if id, ok := p.ids[name]; ok {
+		return id
+	}
+	if p.ids == nil {
+		p.ids = make(map[string]int)
+	}
+	id := len(p.names) + 1 // pid 0 renders oddly in some viewers
+	p.ids[name] = id
+	p.names = append(p.names, name)
+	return id
+}
+
+// WriteChromeTrace renders the recorder's retained spans (and, when rec
+// is non-nil, its protocol events as instant markers) as Chrome
+// trace_event JSON. Each initiator node becomes a process track and
+// each QP a thread within it; every data span emits one enclosing slice
+// for the whole verb plus one nested slice per pipeline stage, so a
+// burst tenant's widening target-queue slices are directly visible in
+// Perfetto. Control spans emit a single slice.
+func WriteChromeTrace(w io.Writer, fr *FlightRecorder, rec *Recorder) error {
+	var pids pidTable
+	var events []chromeEvent
+	for _, sp := range fr.Spans() {
+		pid := pids.id(sp.Initiator)
+		cat := "data"
+		if sp.Control {
+			cat = "control"
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Op.String(),
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   chromeUS(sp.Posted),
+			Dur:  chromeUS(sp.End() - sp.Posted),
+			Pid:  pid,
+			Tid:  sp.QP,
+			Args: map[string]any{"span": sp.ID, "target": sp.Target},
+		})
+		if sp.Control {
+			continue
+		}
+		stages := []struct {
+			name     string
+			from, to sim.Time
+		}{
+			{"credit-wait", sp.Posted, sp.Credit},
+			{"init-nic", sp.Credit, sp.InitDone},
+			{"wire", sp.InitDone, sp.Arrived},
+			{"target-queue", sp.Arrived, sp.Service},
+			{"target-service", sp.Service, sp.Served},
+			{"deliver", sp.Served, sp.Done},
+		}
+		for _, st := range stages {
+			if st.from < 0 || st.to < 0 {
+				continue
+			}
+			events = append(events, chromeEvent{
+				Name: st.name,
+				Cat:  "stage",
+				Ph:   "X",
+				Ts:   chromeUS(st.from),
+				Dur:  chromeUS(st.to - st.from),
+				Pid:  pid,
+				Tid:  sp.QP,
+			})
+		}
+	}
+	if rec != nil {
+		for _, ev := range rec.Events() {
+			events = append(events, chromeEvent{
+				Name: ev.Kind.String(),
+				Cat:  "protocol",
+				Ph:   "i",
+				S:    "t",
+				Ts:   chromeUS(ev.At),
+				Pid:  pids.id(ev.Actor),
+				Args: map[string]any{"A": ev.A, "B": ev.B},
+			})
+		}
+	}
+	meta := make([]chromeEvent, 0, len(pids.names))
+	for i, name := range pids.names {
+		meta = append(meta, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  i + 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+	return json.NewEncoder(w).Encode(chromeTrace{
+		TraceEvents:     append(meta, events...),
+		DisplayTimeUnit: "ns",
+	})
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/haechi-qos/haechi/internal/metrics"
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// StageStats aggregates per-stage latency histograms for every data
+// span posted by one initiator. Unlike the span ring, which keeps only
+// the most recent spans for export, the histograms cover every finished
+// span — the per-stage breakdown is exact regardless of ring capacity.
+type StageStats struct {
+	Actor string
+
+	CreditWait    metrics.Histogram
+	InitNIC       metrics.Histogram
+	Wire          metrics.Histogram
+	TargetQueue   metrics.Histogram
+	TargetService metrics.Histogram
+	Delivery      metrics.Histogram
+	Total         metrics.Histogram
+}
+
+// Histograms returns the stage histograms in StageNames order.
+func (s *StageStats) Histograms() []*metrics.Histogram {
+	return []*metrics.Histogram{
+		&s.CreditWait,
+		&s.InitNIC,
+		&s.Wire,
+		&s.TargetQueue,
+		&s.TargetService,
+		&s.Delivery,
+		&s.Total,
+	}
+}
+
+func (s *StageStats) record(sp *Span) {
+	hs := s.Histograms()
+	for i, d := range sp.StageDurations() {
+		if d >= 0 {
+			hs[i].Record(d)
+		}
+	}
+}
+
+// FlightRecorder collects finished spans into a bounded ring and folds
+// every finished data span into per-initiator stage histograms. All
+// methods are nil-safe so instrumented code needs no recorder checks at
+// call sites, and nothing here ever touches the kernel's event queue:
+// a run with a recorder attached executes the exact same event
+// sequence as a run without one.
+type FlightRecorder struct {
+	ring     []Span
+	next     int
+	wrapped  bool
+	nextID   uint64
+	started  uint64
+	finished uint64
+	stats    map[string]*StageStats
+}
+
+// NewFlightRecorder creates a recorder keeping the last capacity
+// finished spans.
+func NewFlightRecorder(capacity int) (*FlightRecorder, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("trace: flight recorder capacity must be positive, got %d", capacity)
+	}
+	return &FlightRecorder{
+		ring:  make([]Span, capacity),
+		stats: make(map[string]*StageStats),
+	}, nil
+}
+
+// Begin starts a span for a verb posted at virtual time at. It returns
+// nil on a nil recorder, so instrumentation sites guard with a single
+// `if sp != nil` per stamp.
+func (f *FlightRecorder) Begin(op Op, control bool, initiator, target string, qp int, at sim.Time) *Span {
+	if f == nil {
+		return nil
+	}
+	f.nextID++
+	f.started++
+	return &Span{
+		ID:        f.nextID,
+		Op:        op,
+		Control:   control,
+		Initiator: initiator,
+		Target:    target,
+		QP:        qp,
+		Posted:    at,
+		Credit:    Unset,
+		InitDone:  Unset,
+		Arrived:   Unset,
+		Service:   Unset,
+		Served:    Unset,
+		Done:      Unset,
+	}
+}
+
+// Finish records a completed span: it is copied into the ring and, for
+// data spans, its stage durations feed the initiator's histograms.
+func (f *FlightRecorder) Finish(sp *Span) {
+	if f == nil || sp == nil {
+		return
+	}
+	f.finished++
+	f.ring[f.next] = *sp
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.wrapped = true
+	}
+	if !sp.Control {
+		st := f.stats[sp.Initiator]
+		if st == nil {
+			st = &StageStats{Actor: sp.Initiator}
+			f.stats[sp.Initiator] = st
+		}
+		st.record(sp)
+	}
+}
+
+// Started returns the number of spans begun.
+func (f *FlightRecorder) Started() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.started
+}
+
+// Finished returns the number of spans finished (spans still in flight
+// when the simulation ends are never finished and stay out of the
+// ring).
+func (f *FlightRecorder) Finished() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.finished
+}
+
+// Capacity returns the ring size.
+func (f *FlightRecorder) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring)
+}
+
+// Spans returns the retained spans in finish order, oldest first.
+func (f *FlightRecorder) Spans() []Span {
+	if f == nil {
+		return nil
+	}
+	if !f.wrapped {
+		out := make([]Span, f.next)
+		copy(out, f.ring[:f.next])
+		return out
+	}
+	out := make([]Span, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Stages returns the per-initiator stage statistics sorted by actor
+// name, for deterministic iteration and rendering.
+func (f *FlightRecorder) Stages() []*StageStats {
+	if f == nil {
+		return nil
+	}
+	actors := make([]string, 0, len(f.stats))
+	for a := range f.stats {
+		actors = append(actors, a)
+	}
+	sort.Strings(actors)
+	out := make([]*StageStats, len(actors))
+	for i, a := range actors {
+		out[i] = f.stats[a]
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderValidation(t *testing.T) {
+	if _, err := NewFlightRecorder(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewFlightRecorder(-3); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	if sp := fr.Begin(OpRead, false, "a", "b", 1, 0); sp != nil {
+		t.Error("nil recorder returned a span")
+	}
+	fr.Finish(nil) // must not panic
+	if fr.Started() != 0 || fr.Finished() != 0 || fr.Capacity() != 0 {
+		t.Error("nil recorder counters non-zero")
+	}
+	if fr.Spans() != nil || fr.Stages() != nil {
+		t.Error("nil recorder returned data")
+	}
+}
+
+func TestFlightRingEvictionKeepsHistogramsExact(t *testing.T) {
+	fr, err := NewFlightRecorder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		sp := fr.Begin(OpRead, false, "c1", "dn", 1, 0)
+		sp.Done = 100
+		fr.Finish(sp)
+	}
+	if fr.Started() != 6 || fr.Finished() != 6 {
+		t.Fatalf("started/finished = %d/%d, want 6/6", fr.Started(), fr.Finished())
+	}
+	spans := fr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := uint64(i + 3); sp.ID != want { // oldest-first: IDs 3..6
+			t.Errorf("span %d has ID %d, want %d", i, sp.ID, want)
+		}
+	}
+	// Eviction must not touch the per-stage histograms: all 6 counted.
+	st := fr.Stages()
+	if len(st) != 1 || st[0].Actor != "c1" {
+		t.Fatalf("stages = %+v, want one entry for c1", st)
+	}
+	if st[0].Total.Count() != 6 {
+		t.Errorf("total histogram count = %d, want 6 (must survive ring eviction)", st[0].Total.Count())
+	}
+}
+
+func TestFlightStagesSortedAndControlExcluded(t *testing.T) {
+	fr, err := NewFlightRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, actor := range []string{"zeta", "alpha"} {
+		sp := fr.Begin(OpWrite, false, actor, "dn", 1, 0)
+		sp.Done = 50
+		fr.Finish(sp)
+	}
+	ctrl := fr.Begin(OpFetchAdd, true, "omega", "dn", 2, 0)
+	ctrl.Done = 10
+	fr.Finish(ctrl)
+	st := fr.Stages()
+	if len(st) != 2 {
+		t.Fatalf("got %d stage actors, want 2 (control spans excluded)", len(st))
+	}
+	if st[0].Actor != "alpha" || st[1].Actor != "zeta" {
+		t.Errorf("actors = [%s %s], want sorted [alpha zeta]", st[0].Actor, st[1].Actor)
+	}
+}
+
+func TestSpanStageDurations(t *testing.T) {
+	sp := &Span{
+		Posted: 100, Credit: 110, InitDone: 150, Arrived: 160,
+		Service: 200, Served: 240, Done: 250,
+	}
+	want := []int64{10, 40, 10, 40, 40, 10, 150}
+	got := sp.StageDurations()
+	if len(got) != len(StageNames) {
+		t.Fatalf("StageDurations len %d != StageNames len %d", len(got), len(StageNames))
+	}
+	for i, w := range want {
+		if int64(got[i]) != w {
+			t.Errorf("%s = %d, want %d", StageNames[i], int64(got[i]), w)
+		}
+	}
+	// A control span (stages skipped) reports Unset for them and still
+	// has a total.
+	cp := &Span{Posted: 100, Credit: Unset, InitDone: 120, Arrived: 130,
+		Service: Unset, Served: 150, Done: 160}
+	if cp.CreditWait() != Unset || cp.TargetQueue() != Unset {
+		t.Error("skipped stages not Unset")
+	}
+	if cp.Total() != 60 {
+		t.Errorf("control total = %d, want 60", int64(cp.Total()))
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	fr, err := NewFlightRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := fr.Begin(OpRead, false, "c1", "dn", 1, 100)
+	sp.Credit, sp.InitDone, sp.Arrived, sp.Service, sp.Served, sp.Done = 110, 150, 160, 200, 240, 250
+	fr.Finish(sp)
+	cp := fr.Begin(OpFetchAdd, true, "c1", "dn", 1, 300)
+	cp.InitDone, cp.Arrived, cp.Served, cp.Done = 320, 330, 350, 360
+	fr.Finish(cp)
+	rec, err := NewRecorder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(Event{At: 500, Kind: Claim, Actor: "engine-0", A: 1, B: 2})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fr, rec); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 2 metadata tracks (c1, engine-0) + data span (1 whole + 6 stages)
+	// + 1 control span + 1 instant event.
+	if len(out.TraceEvents) != 11 {
+		t.Fatalf("got %d events, want 11", len(out.TraceEvents))
+	}
+	var whole *int
+	counts := map[string]int{}
+	for i, ev := range out.TraceEvents {
+		counts[ev.Ph]++
+		if ev.Ph == "X" && ev.Cat == "data" {
+			whole = &[]int{i}[0]
+		}
+	}
+	if counts["M"] != 2 || counts["X"] != 8 || counts["i"] != 1 {
+		t.Errorf("phase counts = %v, want M=2 X=8 i=1", counts)
+	}
+	if whole == nil {
+		t.Fatal("no enclosing data span event")
+	}
+	// Every stage slice must nest within its enclosing span.
+	enc := out.TraceEvents[*whole]
+	for _, ev := range out.TraceEvents {
+		if ev.Cat != "stage" {
+			continue
+		}
+		if ev.Pid != enc.Pid || ev.Tid != enc.Tid {
+			t.Errorf("stage %s on track %d/%d, want %d/%d", ev.Name, ev.Pid, ev.Tid, enc.Pid, enc.Tid)
+		}
+		if ev.Ts < enc.Ts || ev.Ts+ev.Dur > enc.Ts+enc.Dur+1e-9 {
+			t.Errorf("stage %s [%v,%v] escapes span [%v,%v]", ev.Name, ev.Ts, ev.Ts+ev.Dur, enc.Ts, enc.Ts+enc.Dur)
+		}
+	}
+	// Export is deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, fr, rec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two renders of the same recorder differ")
+	}
+}
+
+// TestKindsRoundTrip guards trace.Kinds() and Kind.String() against a
+// Kind constant added without a name or without a Kinds() entry.
+func TestKindsRoundTrip(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) == 0 {
+		t.Fatal("no kinds declared")
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no String() name", uint8(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	// The value one past the last declared kind must hit the fallback;
+	// if it doesn't, a named Kind exists that Kinds() fails to list.
+	next := kinds[len(kinds)-1] + 1
+	if !strings.HasPrefix(next.String(), "Kind(") {
+		t.Errorf("Kind %d = %q is named but missing from Kinds()", uint8(next), next.String())
+	}
+}
+
+// TestSummaryIncludesAllObservedKinds pins the Summary fix: events of a
+// kind beyond the last declared constant must still be counted (the old
+// loop `for k := PeriodStart; k <= LocalViolation; k++` dropped them).
+func TestSummaryIncludesAllObservedKinds(t *testing.T) {
+	r, err := NewRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := LocalViolation + 1
+	r.Record(Event{Kind: future})
+	r.Record(Event{Kind: Claim})
+	sum := r.Summary()
+	if !strings.Contains(sum, "claim=1") {
+		t.Errorf("summary %q missing claim=1", sum)
+	}
+	if !strings.Contains(sum, future.String()+"=1") {
+		t.Errorf("summary %q dropped kind beyond LocalViolation", sum)
+	}
+	// Sorted by kind value: claim (5) renders before the future kind.
+	if strings.Index(sum, "claim=1") > strings.Index(sum, future.String()+"=1") {
+		t.Errorf("summary %q not in kind order", sum)
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// Op classifies the verb a Span records.
+type Op uint8
+
+// Span operations, one per RDMA verb the fabric simulates.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+	OpFetchAdd
+	OpCompareSwap
+	OpSend
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	case OpCompareSwap:
+		return "CMP_SWAP"
+	case OpSend:
+		return "SEND"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Unset marks a pipeline stage a span never reached (or that does not
+// exist on its path; control verbs skip the credit stage, for example).
+const Unset sim.Time = -1
+
+// Span follows one verb through the fabric pipeline. Every timestamp is
+// stamped from the simulation kernel clock inside a callback the fabric
+// would execute anyway, so recording spans never adds, removes, or
+// reorders kernel events — the event sequence with tracing on is
+// identical to the sequence with tracing off (DESIGN.md §7).
+//
+// Data-path stages, in order:
+//
+//	Posted   — verb posted at the initiator
+//	Credit   — flow-control credit acquired, WQE handed to the NIC
+//	InitDone — initiator NIC finished serving the WQE
+//	Arrived  — after propagation, op entered the target's RR scheduler
+//	Service  — target scheduler dispatched the op to the target NIC
+//	Served   — target NIC finished service; memory effect applied
+//	Done     — completion delivered back at the initiator
+//
+// Control verbs (atomics, small writes, sends) skip Credit/Service:
+// they take the priority path straight through both NICs.
+type Span struct {
+	ID        uint64
+	Op        Op
+	Control   bool
+	Initiator string
+	Target    string
+	QP        int
+
+	Posted   sim.Time
+	Credit   sim.Time
+	InitDone sim.Time
+	Arrived  sim.Time
+	Service  sim.Time
+	Served   sim.Time
+	Done     sim.Time
+}
+
+// StageNames lists the per-stage latency components of a data span, in
+// pipeline order, followed by the end-to-end total. The slice is
+// parallel to Span.StageDurations and StageStats.Histograms.
+var StageNames = []string{
+	"credit-wait",
+	"init-nic",
+	"wire",
+	"target-queue",
+	"target-service",
+	"deliver",
+	"total",
+}
+
+// End returns the last timestamp the span reached.
+func (s *Span) End() sim.Time {
+	for _, t := range []sim.Time{s.Done, s.Served, s.Service, s.Arrived, s.InitDone, s.Credit} {
+		if t >= 0 {
+			return t
+		}
+	}
+	return s.Posted
+}
+
+// stage returns the duration from to-from when both ends were stamped,
+// else Unset.
+func stage(from, to sim.Time) sim.Time {
+	if from < 0 || to < 0 {
+		return Unset
+	}
+	return to - from
+}
+
+// CreditWait is the time from posting until a flow-control credit was
+// available (Haechi's queueing at the initiator happens above this, in
+// the engine's token gate; this measures the fabric window).
+func (s *Span) CreditWait() sim.Time { return stage(s.Posted, s.Credit) }
+
+// InitNIC is the initiator NIC queueing+service time.
+func (s *Span) InitNIC() sim.Time { return stage(s.Credit, s.InitDone) }
+
+// Wire is the propagation delay to the target.
+func (s *Span) Wire() sim.Time { return stage(s.InitDone, s.Arrived) }
+
+// TargetQueue is the wait in the target's round-robin scheduler before
+// dispatch — the component that dominates for bursty tenants (Fig. 13).
+func (s *Span) TargetQueue() sim.Time { return stage(s.Arrived, s.Service) }
+
+// TargetService is the target NIC queueing+service time.
+func (s *Span) TargetService() sim.Time { return stage(s.Service, s.Served) }
+
+// Delivery is the completion propagation back to the initiator.
+func (s *Span) Delivery() sim.Time { return stage(s.Served, s.Done) }
+
+// Total is the end-to-end latency from posting to the last stamped
+// stage.
+func (s *Span) Total() sim.Time { return s.End() - s.Posted }
+
+// StageDurations returns the durations parallel to StageNames; entries
+// are Unset for stages the span did not traverse.
+func (s *Span) StageDurations() []sim.Time {
+	return []sim.Time{
+		s.CreditWait(),
+		s.InitNIC(),
+		s.Wire(),
+		s.TargetQueue(),
+		s.TargetService(),
+		s.Delivery(),
+		s.Total(),
+	}
+}

@@ -9,6 +9,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"github.com/haechi-qos/haechi/internal/sim"
@@ -54,6 +55,18 @@ const (
 	// longer be served at C_L in the time left. A=client id, B=shortfall.
 	LocalViolation
 )
+
+// Kinds lists every declared event kind in declaration order. Summary
+// and other by-kind renderings must not hardcode the range of declared
+// kinds (a Kind added after the last constant would silently vanish);
+// they either iterate observed kinds or use this list.
+func Kinds() []Kind {
+	return []Kind{
+		PeriodStart, TokenPush, ReportSignal, Report, Claim, Probe,
+		Yield, PoolCap, CapacityUpdate, LimitThrottle, FailureSuspect,
+		FailureRecover, LocalViolation,
+	}
+}
 
 // String names the kind.
 func (k Kind) String() string {
@@ -194,17 +207,22 @@ func (r *Recorder) Dump(w io.Writer) error {
 	return nil
 }
 
-// Summary renders per-kind counts on one line.
+// Summary renders per-kind counts on one line. It iterates the kinds
+// actually observed, in sorted order, so events of kinds declared after
+// LocalViolation (or not declared at all) still appear.
 func (r *Recorder) Summary() string {
 	counts := r.Counts()
 	if len(counts) == 0 {
 		return "trace: empty"
 	}
-	var parts []string
-	for k := PeriodStart; k <= LocalViolation; k++ {
-		if c, ok := counts[k]; ok {
-			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
-		}
+	kinds := make([]Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[k])
 	}
 	return "trace: " + strings.Join(parts, " ")
 }
