@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/haechi-qos/haechi/internal/cluster"
@@ -43,6 +45,7 @@ func run(args []string) int {
 		clients    = fs.Int("clients", 0, "client nodes (default 10)")
 		records    = fs.Int("records", 0, "records populated in the KV store (default 4096)")
 		seed       = fs.Int64("seed", 0, "random seed (default 42)")
+		par        = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent cluster runs per experiment sweep (output is identical at any value)")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
 		traceOut   = fs.String("trace", "", "write per-I/O spans as Chrome trace_event JSON (open in Perfetto); multi-run experiments get -NN suffixes")
 		traceSpans = fs.Int("trace-spans", 10000, "span ring capacity for -trace (histograms always cover every span)")
@@ -79,9 +82,16 @@ func run(args []string) int {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	opts.Parallel = *par
 
 	exp := &exporter{traceOut: *traceOut, metricsOut: *metricsOut}
 	if *traceOut != "" || *metricsOut != "" {
+		// Artifact export captures each run through the Observe hook and
+		// names files in capture order, so it needs sequential runs.
+		if opts.Parallel > 1 {
+			fmt.Fprintln(os.Stderr, "haechibench: -trace/-metrics force -parallel 1 (artifact order)")
+			opts.Parallel = 1
+		}
 		ob := &cluster.Observe{OnResults: exp.capture}
 		if *traceOut != "" {
 			ob.FlightSpans = *traceSpans
@@ -90,6 +100,14 @@ func run(args []string) int {
 			ob.MetricsInterval = cluster.DefaultMetricsInterval(core.NewDefaultParams().Period)
 		}
 		opts.Observe = ob
+	} else {
+		// Events-per-wall-second accounting: every cluster run reports its
+		// deterministic kernel event count; the sum is divided by the
+		// experiment's wall time. The counter is atomic because parallel
+		// sweeps complete runs concurrently.
+		opts.Observe = &cluster.Observe{OnResults: func(res *cluster.Results) {
+			atomic.AddUint64(&exp.events, res.EventsExecuted)
+		}}
 	}
 
 	switch {
@@ -116,6 +134,7 @@ func run(args []string) int {
 
 func runOne(id string, opts experiments.Options, csvDir string, exp *exporter) error {
 	start := time.Now()
+	atomic.StoreUint64(&exp.events, 0)
 	rep, err := experiments.Run(id, opts)
 	if err != nil {
 		return err
@@ -131,8 +150,14 @@ func runOne(id string, opts experiments.Options, csvDir string, exp *exporter) e
 	if err := exp.flush(); err != nil {
 		return err
 	}
-	fmt.Printf("[%s completed in %v at scale %.0f, %d+%d periods]\n\n",
-		rep.ID, time.Since(start).Round(time.Millisecond), opts.Scale, opts.WarmupPeriods, opts.MeasurePeriods)
+	elapsed := time.Since(start)
+	status := fmt.Sprintf("[%s completed in %v at scale %.0f, %d+%d periods",
+		rep.ID, elapsed.Round(time.Millisecond), opts.Scale, opts.WarmupPeriods, opts.MeasurePeriods)
+	if ev := atomic.LoadUint64(&exp.events); ev > 0 {
+		status += fmt.Sprintf("; %d kernel events, %.1fM events/wall-sec",
+			ev, float64(ev)/elapsed.Seconds()/1e6)
+	}
+	fmt.Printf("%s]\n\n", status)
 	return nil
 }
 
@@ -145,6 +170,10 @@ type exporter struct {
 	metricsOut string
 	written    int
 	pending    []*cluster.Results
+	// events sums Results.EventsExecuted across the current experiment's
+	// cluster runs; accessed atomically (parallel sweeps report
+	// concurrently).
+	events uint64
 }
 
 func (e *exporter) capture(res *cluster.Results) {

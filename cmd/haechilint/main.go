@@ -4,10 +4,13 @@
 // Usage:
 //
 //	haechilint [package patterns]
+//	haechilint -scope
 //
 // Patterns are module-relative directories; `dir/...` matches a subtree
 // and `./...` (the default) analyzes every package. The whole module is
 // always loaded — patterns only select which packages are reported on.
+// -scope prints each shipped rule's include/exclude scope (the standing
+// waivers) without analyzing anything.
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on
 // load or usage errors.
@@ -27,6 +30,10 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 && args[0] == "-scope" {
+		printScopes(stdout)
+		return 0
+	}
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(stderr, "haechilint:", err)
@@ -52,6 +59,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// printScopes lists each default rule with its scope, making the
+// standing waivers auditable from the command line (CI prints this next
+// to the lint run so scope changes show up in logs).
+func printScopes(w io.Writer) {
+	for _, r := range lint.DefaultRules() {
+		scope := "all packages"
+		if len(r.Include) > 0 {
+			scope = "include " + strings.Join(r.Include, ", ")
+		}
+		if len(r.Exclude) > 0 {
+			scope += "; exclude " + strings.Join(r.Exclude, ", ")
+		}
+		fmt.Fprintf(w, "%-15s %s\n", r.Analyzer.Name, scope)
+	}
 }
 
 // filterPackages selects the packages matching the command-line

@@ -121,3 +121,38 @@ func TestMatchPattern(t *testing.T) {
 		}
 	}
 }
+
+// TestWheelFixtureClean: the allocation-avoidance idioms the fast
+// kernel relies on — intrusive freelist chains, fixed slot arrays with
+// occupancy bitmaps, generation-checked value Timer handles, and
+// stage completions bound once as methods instead of per-I/O closures —
+// pass the full rule set with zero findings.
+func TestWheelFixtureClean(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "wheelmod"))
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean fixture produced findings:\n%s", stdout.String())
+	}
+}
+
+// TestScopeFlag: -scope prints one line per shipped rule, and the
+// noconcurrency line records the module's only two standing concurrency
+// waivers. A rule-scope change that widens or narrows the waiver set
+// must show up here (and so in review) before it lands.
+func TestScopeFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scope"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 5 {
+		t.Errorf("want 5 scope lines, got %d:\n%s", got, out)
+	}
+	want := "noconcurrency   all packages; exclude internal/parallel, cmd/haechibench"
+	if !strings.Contains(out, want) {
+		t.Errorf("scope output missing %q:\n%s", want, out)
+	}
+}

@@ -1,0 +1,3 @@
+module wheelmod
+
+go 1.22

@@ -1,0 +1,112 @@
+// Package sim stands in for the timing-wheel kernel: it exercises every
+// allocation-avoidance idiom the real event queue uses — intrusive
+// singly-linked slot chains, fixed slot arrays with occupancy bitmaps,
+// an event freelist threaded through the same link field, and
+// generation-checked value handles — and must produce zero findings.
+package sim
+
+import "math/bits"
+
+// Time is virtual nanoseconds.
+type Time int64
+
+const (
+	slotBits = 3
+	slots    = 1 << slotBits
+	slotMask = slots - 1
+)
+
+// event is pooled: next links it into a slot chain or the freelist, and
+// gen invalidates stale Timer handles across recycling.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	next *event
+	gen  uint32
+}
+
+// Timer is a value handle; the generation check makes a handle held past
+// its event's recycling an inert no-op.
+type Timer struct {
+	ev  *event
+	gen uint32
+}
+
+// Cancel prevents the callback from running, if the handle is current.
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.gen != t.ev.gen || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+// Kernel is a single-level timing wheel with a freelist.
+type Kernel struct {
+	now      Time
+	seq      uint64
+	wheel    [slots]*event
+	tails    [slots]*event
+	occupied uint8
+	free     *event
+}
+
+// Now returns the virtual clock.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule queues fn after delay and returns a cancelable handle.
+func (k *Kernel) Schedule(delay Time, fn func()) Timer {
+	ev := k.alloc()
+	ev.at = k.now + delay
+	ev.seq = k.seq
+	ev.fn = fn
+	k.seq++
+	idx := int(uint64(ev.at) & slotMask)
+	if k.tails[idx] == nil {
+		k.wheel[idx] = ev
+	} else {
+		k.tails[idx].next = ev
+	}
+	k.tails[idx] = ev
+	k.occupied |= 1 << idx
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// Run drains every slot in occupancy order until the wheel is empty.
+func (k *Kernel) Run() {
+	for k.occupied != 0 {
+		idx := bits.TrailingZeros8(k.occupied)
+		ev := k.wheel[idx]
+		k.wheel[idx] = nil
+		k.tails[idx] = nil
+		k.occupied &^= 1 << idx
+		for ev != nil {
+			next := ev.next
+			if fn := ev.fn; fn != nil {
+				if ev.at > k.now {
+					k.now = ev.at
+				}
+				fn()
+			}
+			k.recycle(ev)
+			ev = next
+		}
+	}
+}
+
+func (k *Kernel) alloc() *event {
+	if ev := k.free; ev != nil {
+		k.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &event{}
+}
+
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.next = k.free
+	k.free = ev
+}

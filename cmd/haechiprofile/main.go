@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/haechi-qos/haechi/internal/cluster"
 	"github.com/haechi-qos/haechi/internal/kvstore"
@@ -26,6 +27,8 @@ func run(args []string) int {
 		scale   = fs.Float64("scale", 10, "fabric scale divisor (1 = full scale)")
 		sigmaK  = fs.Float64("k", 3, "lower-bound multiplier on sigma")
 		seed    = fs.Int64("seed", 1, "random seed")
+		shards  = fs.Int("shards", 1, "independent profiling runs splitting the periods (seeds seed..seed+shards-1; part of the result)")
+		par     = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent kernels for sharded profiling (never changes the result)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -37,12 +40,12 @@ func run(args []string) int {
 	cfg.Store = kvstore.Options{Capacity: 1 << 12, RecordSize: 4096}
 	cfg.Records = 1 << 11
 
-	prof, err := cluster.ProfileCapacity(cfg, *clients, *periods)
+	prof, err := cluster.ProfileCapacitySharded(cfg, *clients, *periods, *shards, *par)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "haechiprofile: %v\n", err)
 		return 1
 	}
-	fmt.Printf("profiling: %d clients, %d periods, scale %.0f\n", *clients, *periods, *scale)
+	fmt.Printf("profiling: %d clients, %d periods, %d shard(s), scale %.0f\n", *clients, *periods, *shards, *scale)
 	fmt.Printf("Omega_prof     = %.0f I/Os per period (full-scale equivalent %.0fK IOPS)\n",
 		prof.MeanPerPeriod, prof.MeanPerPeriod**scale/1000)
 	fmt.Printf("sigma          = %.1f (%.3f%% of Omega_prof)\n",

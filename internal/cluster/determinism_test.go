@@ -84,10 +84,12 @@ func TestObservabilityInert(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Strip the observability payloads; everything else — every
+		// Strip the observability payloads and the event count (the
+		// metrics ticker adds sampling events); everything else — every
 		// count, percentile and timeline — must match the blind run.
 		res.Stages = nil
 		res.Metrics = nil
+		res.EventsExecuted = 0
 		b, err := json.Marshal(res)
 		if err != nil {
 			t.Fatal(err)
@@ -117,4 +119,36 @@ func reportDivergence(t *testing.T, a, b []byte) {
 	}
 	t.Fatalf("observability/seed mismatch: different serialized results (lengths %d vs %d); first divergence at byte %d:\n  run A: …%s…\n  run B: …%s…",
 		len(a), len(b), i, ctx(a), ctx(b))
+}
+
+// TestProfileShardedWorkerInvariant pins the parallel sweeper's
+// contract at the cluster API: the worker count is pure concurrency and
+// can never leak into results. Shard count, by contrast, is part of the
+// experiment definition (each shard reseeds), so shards=1 must
+// reproduce ProfileCapacity exactly.
+func TestProfileShardedWorkerInvariant(t *testing.T) {
+	cfg := testConfig(Bare)
+	sequential, err := ProfileCapacitySharded(cfg, 4, 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel8, err := ProfileCapacitySharded(cfg, 4, 8, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sequential != parallel8 {
+		t.Errorf("worker count changed the profile: workers=1 %+v, workers=8 %+v",
+			sequential, parallel8)
+	}
+	plain, err := ProfileCapacity(cfg, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShard, err := ProfileCapacitySharded(cfg, 4, 8, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != oneShard {
+		t.Errorf("shards=1 diverged from ProfileCapacity: %+v vs %+v", plain, oneShard)
+	}
 }

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"github.com/haechi-qos/haechi/internal/parallel"
 )
 
 // ProfileResult is the outcome of the capacity-profiling procedure.
@@ -27,33 +29,44 @@ func (p ProfileResult) LowerBound(k float64) int64 {
 // (The paper profiles 1000 one-period runs; a single long run with
 // per-period sampling measures the same distribution.)
 func ProfileCapacity(cfg Config, nClients, periods int) (ProfileResult, error) {
+	return ProfileCapacitySharded(cfg, nClients, periods, 1, 1)
+}
+
+// ProfileCapacitySharded is ProfileCapacity split into `shards`
+// independent runs executed on up to `workers` concurrent kernels.
+// Shard s profiles its slice of the periods with seed cfg.Seed+s, and
+// the per-period samples are concatenated in shard order, so the result
+// depends on (cfg, nClients, periods, shards) but never on workers —
+// this is closer to the paper's methodology of many independent
+// one-period profiling runs, at sweep-level wall-clock cost. shards=1,
+// workers=1 is exactly ProfileCapacity.
+func ProfileCapacitySharded(cfg Config, nClients, periods, shards, workers int) (ProfileResult, error) {
 	if nClients <= 0 || periods <= 0 {
 		return ProfileResult{}, fmt.Errorf("cluster: profiling needs clients > 0 and periods > 0")
 	}
-	cfg.Mode = Bare
-	cfg.TwoSided = false
-	specs := make([]ClientSpec, nClients)
-	for i := range specs {
-		specs[i] = ClientSpec{Demand: UnlimitedDemand()}
+	if shards <= 0 {
+		shards = 1
 	}
-	cl, err := New(cfg, specs)
-	if err != nil {
-		return ProfileResult{}, err
+	if shards > periods {
+		shards = periods
 	}
-	res, err := cl.Run(1, periods)
-	if err != nil {
-		return ProfileResult{}, err
-	}
-	// Per-period totals across clients.
-	totals := make([]float64, 0, periods)
-	for p := 0; p < periods; p++ {
-		var sum float64
-		for _, cr := range res.Clients {
-			if p < len(cr.Periods) {
-				sum += float64(cr.Periods[p])
-			}
+	per := periods / shards
+	extra := periods % shards
+	samples, err := parallel.Map(workers, shards, func(s int) ([]float64, error) {
+		n := per
+		if s < extra {
+			n++
 		}
-		totals = append(totals, sum)
+		shardCfg := cfg
+		shardCfg.Seed += int64(s)
+		return profileRun(shardCfg, nClients, n)
+	})
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	var totals []float64
+	for _, sh := range samples {
+		totals = append(totals, sh...)
 	}
 	var mean float64
 	for _, v := range totals {
@@ -66,4 +79,34 @@ func ProfileCapacity(cfg Config, nClients, periods int) (ProfileResult, error) {
 	}
 	sigma := math.Sqrt(varsum / float64(len(totals)))
 	return ProfileResult{MeanPerPeriod: mean, Sigma: sigma, Periods: len(totals)}, nil
+}
+
+// profileRun executes one profiling run and returns its per-period
+// completion totals across clients.
+func profileRun(cfg Config, nClients, periods int) ([]float64, error) {
+	cfg.Mode = Bare
+	cfg.TwoSided = false
+	specs := make([]ClientSpec, nClients)
+	for i := range specs {
+		specs[i] = ClientSpec{Demand: UnlimitedDemand()}
+	}
+	cl, err := New(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.Run(1, periods)
+	if err != nil {
+		return nil, err
+	}
+	totals := make([]float64, 0, periods)
+	for p := 0; p < periods; p++ {
+		var sum float64
+		for _, cr := range res.Clients {
+			if p < len(cr.Periods) {
+				sum += float64(cr.Periods[p])
+			}
+		}
+		totals = append(totals, sum)
+	}
+	return totals, nil
 }

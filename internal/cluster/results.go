@@ -68,6 +68,11 @@ type Results struct {
 	// Scale echoes the config's scale factor, so latency renderings can
 	// convert back to full-scale equivalents.
 	Scale float64
+	// EventsExecuted is the simulation kernel's total fired-event count
+	// at the end of the run. It is fully deterministic (part of the
+	// byte-identity surface); dividing it by wall-clock time gives the
+	// kernel's events-per-second figure cmd/haechibench reports.
+	EventsExecuted uint64
 	// Stages is the per-tenant per-stage latency breakdown from the
 	// flight recorder; nil unless Config.Observe enabled span recording.
 	Stages []StageLatency `json:",omitempty"`
@@ -86,6 +91,7 @@ func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) *Resu
 		MeasuredPeriods: measurePeriods,
 		ServerStats:     serverStats,
 		Scale:           c.cfg.Scale,
+		EventsExecuted:  c.kernel.Executed(),
 	}
 	if c.flight != nil {
 		res.Flight = c.flight

@@ -83,7 +83,7 @@ type Engine struct {
 
 	tick             *sim.Ticker
 	reportTicker     *sim.Ticker
-	finalReportTimer *sim.Timer
+	finalReportTimer sim.Timer
 
 	// OnPeriodStart, if set, is invoked when a new QoS period begins
 	// (after tokens are installed); the workload generator hooks it.

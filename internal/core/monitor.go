@@ -83,7 +83,7 @@ type Monitor struct {
 	reporting     bool
 
 	checkTicker *sim.Ticker
-	periodTimer *sim.Timer
+	periodTimer sim.Timer
 
 	// OmegaSeries records the estimated capacity per period; UsageSeries
 	// the reported total completions per period.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/haechi-qos/haechi/internal/cluster"
 	"github.com/haechi-qos/haechi/internal/core"
+	"github.com/haechi-qos/haechi/internal/parallel"
 	"github.com/haechi-qos/haechi/internal/sim"
 )
 
@@ -64,13 +65,16 @@ func Ablation(o Options) (*Report, error) {
 	// cluster.New applies the scale divisor to Batch, so setting the
 	// full-scale value here sweeps the intended effective batch.
 	tb := &Table{Title: "FAA batch size B, full-scale value (paper: 1000)", Header: header}
-	for _, b := range []int64{1 * int64(o.Scale), 100, 1000, 10000} {
-		b := b
-		out, err := run(func(c *cluster.Config) { c.Params.Batch = b })
-		if err != nil {
-			return nil, err
-		}
-		row(tb, fmt.Sprintf("B=%d", b), out)
+	batches := []int64{1 * int64(o.Scale), 100, 1000, 10000}
+	batchOuts, err := parallel.Map(o.workers(), len(batches), func(i int) (*cluster.Results, error) {
+		b := batches[i]
+		return run(func(c *cluster.Config) { c.Params.Batch = b })
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range batches {
+		row(tb, fmt.Sprintf("B=%d", b), batchOuts[i])
 	}
 	rep.Tables = append(rep.Tables, tb)
 
@@ -79,33 +83,39 @@ func Ablation(o Options) (*Report, error) {
 	// (capped at T/10), so sweep pre-scale values and label the
 	// effective result.
 	ti := &Table{Title: "monitor check + client report interval (paper: 1 ms full-scale)", Header: header}
-	for _, iv := range []sim.Time{200 * sim.Microsecond, sim.Millisecond, 4 * sim.Millisecond} {
-		iv := iv
-		effective := sim.Time(float64(iv) * o.Scale)
-		if cap := core.NewDefaultParams().Period / 10; effective > cap {
-			effective = cap
-		}
-		out, err := run(func(c *cluster.Config) {
+	intervals := []sim.Time{200 * sim.Microsecond, sim.Millisecond, 4 * sim.Millisecond}
+	intervalOuts, err := parallel.Map(o.workers(), len(intervals), func(i int) (*cluster.Results, error) {
+		iv := intervals[i]
+		return run(func(c *cluster.Config) {
 			c.Params.CheckInterval = iv
 			c.Params.ReportInterval = iv
 			c.Params.Tick = iv
 		})
-		if err != nil {
-			return nil, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, iv := range intervals {
+		effective := sim.Time(float64(iv) * o.Scale)
+		if cap := core.NewDefaultParams().Period / 10; effective > cap {
+			effective = cap
 		}
-		row(ti, effective.String(), out)
+		row(ti, effective.String(), intervalOuts[i])
 	}
 	rep.Tables = append(rep.Tables, ti)
 
 	// 3. Send queue depth.
 	ts := &Table{Title: "engine send-queue depth (paper: 64 outstanding)", Header: header}
-	for _, d := range []int{8, 64, 512} {
-		d := d
-		out, err := run(func(c *cluster.Config) { c.Params.SendQueueDepth = d })
-		if err != nil {
-			return nil, err
-		}
-		row(ts, fmt.Sprintf("depth=%d", d), out)
+	depths := []int{8, 64, 512}
+	depthOuts, err := parallel.Map(o.workers(), len(depths), func(i int) (*cluster.Results, error) {
+		d := depths[i]
+		return run(func(c *cluster.Config) { c.Params.SendQueueDepth = d })
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range depths {
+		row(ts, fmt.Sprintf("depth=%d", d), depthOuts[i])
 	}
 	rep.Tables = append(rep.Tables, ts)
 
@@ -123,7 +133,7 @@ func Ablation(o Options) (*Report, error) {
 		Title:  "send-queue depth x flow-control window on the spike/burst workload",
 		Header: []string{"value", "throughput", "C1 attainment", "qos NIC overhead", "atomics"},
 	}
-	for _, combo := range []struct {
+	combos := []struct {
 		depth, window int
 	}{
 		{64, 64},   // defaults: both bound outstanding work
@@ -131,16 +141,20 @@ func Ablation(o Options) (*Report, error) {
 		{2048, 0},  // nothing bounds the server queue: deep pre-posted
 		// backlogs drain at full server rate late in the period, hiding
 		// the local-capacity (C_L) physics behind Figs. 8(b)/13
-	} {
-		combo := combo
-		out, err := o.runQoS(cluster.Haechi, o.qosSpecs(spikeRes, spikeDemand),
+	}
+	comboOuts, err := parallel.Map(o.workers(), len(combos), func(i int) (*cluster.Results, error) {
+		combo := combos[i]
+		return o.runQoS(cluster.Haechi, o.qosSpecs(spikeRes, spikeDemand),
 			func(c *cluster.Config) {
 				c.Params.SendQueueDepth = combo.depth
 				c.Fabric.FlowControlWindow = combo.window
 			})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, combo := range combos {
+		out := comboOuts[i]
 		tf.AddRow(fmt.Sprintf("depth=%d window=%d", combo.depth, combo.window),
 			count(out.ThroughputPerPeriod, o.Scale),
 			fmt.Sprintf("%.0f%%", 100*float64(out.Clients[0].MinPeriod)/float64(spikeRes[0])),

@@ -495,3 +495,27 @@ func TestWriteCSV(t *testing.T) {
 		t.Error("write into missing dir succeeded")
 	}
 }
+
+// TestParallelSweepByteIdentical pins the sweep runner's determinism
+// contract end to end: an experiment rendered from a parallel sweep is
+// byte-for-byte the report the sequential sweep produces. Fig12 is the
+// widest sweep (a two-dimensional grid flattened row-major), so it
+// exercises the index-merge the hardest.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	render := func(parallel int) string {
+		o := fastOptions()
+		o.Parallel = parallel
+		rep, err := Fig12(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	sequential := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != sequential {
+			t.Errorf("Parallel=%d report diverged from sequential:\n--- parallel\n%s\n--- sequential\n%s",
+				workers, got, sequential)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/haechi-qos/haechi/internal/cluster"
+	"github.com/haechi-qos/haechi/internal/parallel"
 )
 
 // Limits exercises the L_i mechanism the paper describes but does not
@@ -26,8 +27,9 @@ func Limits(o Options) (*Report, error) {
 		Header: []string{"limit", "runaway/period", "victim/period", "victim meets R",
 			"best-effort/period", "total"},
 	}
-	for _, limitFrac := range []float64{0, 0.5, 0.25, 0.125} {
-		limit := int64(float64(capacity) * limitFrac)
+	limitFracs := []float64{0, 0.5, 0.25, 0.125}
+	outs, err := parallel.Map(o.workers(), len(limitFracs), func(i int) (*cluster.Results, error) {
+		limit := int64(float64(capacity) * limitFracs[i])
 		specs := []cluster.ClientSpec{
 			{ // the runaway: huge demand, optionally capped
 				Reservation: runawayRes,
@@ -42,10 +44,14 @@ func Limits(o Options) (*Report, error) {
 				Demand: cluster.ConstantDemand(uint64(capacity)),
 			},
 		}
-		out, err := o.runQoS(cluster.Haechi, specs, nil)
-		if err != nil {
-			return nil, err
-		}
+		return o.runQoS(cluster.Haechi, specs, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, limitFrac := range limitFracs {
+		limit := int64(float64(capacity) * limitFrac)
+		out := outs[i]
 		label := "none"
 		if limit > 0 {
 			label = count(float64(limit), o.Scale)

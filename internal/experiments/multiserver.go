@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/haechi-qos/haechi/internal/multiserver"
+	"github.com/haechi-qos/haechi/internal/parallel"
 	"github.com/haechi-qos/haechi/internal/workload"
 )
 
@@ -49,7 +50,9 @@ func MultiServer(o Options) (*Report, error) {
 		Title:  fmt.Sprintf("cluster scaling: %d uniformly-sharded saturating tenants", tenants),
 		Header: []string{"servers", "total reservation", "throughput/period", "all reservations met"},
 	}
-	for _, servers := range []int{1, 2, 4} {
+	serverCounts := []int{1, 2, 4}
+	scaleOuts, err := parallel.Map(o.workers(), len(serverCounts), func(si int) (*multiserver.Results, error) {
+		servers := serverCounts[si]
 		perTenant := perServer * int64(servers) * 7 / (10 * tenants)
 		if cap := perClientCap * 55 / 100; perTenant > cap {
 			perTenant = cap
@@ -71,10 +74,17 @@ func MultiServer(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := mc.Run(o.WarmupPeriods, o.MeasurePeriods)
-		if err != nil {
-			return nil, err
+		return mc.Run(o.WarmupPeriods, o.MeasurePeriods)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, servers := range serverCounts {
+		perTenant := perServer * int64(servers) * 7 / (10 * tenants)
+		if cap := perClientCap * 55 / 100; perTenant > cap {
+			perTenant = cap
 		}
+		out := scaleOuts[si]
 		met := "yes"
 		for _, cr := range out.PerClient {
 			if float64(cr.MinPeriod) < 0.97*float64(cr.TotalReservation) {
@@ -96,8 +106,8 @@ func MultiServer(o Options) (*Report, error) {
 		Header: []string{"rebalancing", "final split", "min/period", "meets total R"},
 	}
 	skewRes := perClientCap * 3 / 4
-	_ = perServer
-	for _, rebalance := range []int{0, 2} {
+	rebalances := []int{0, 2}
+	skewOuts, err := parallel.Map(o.workers(), len(rebalances), func(ri int) (*multiserver.Results, error) {
 		specs := []multiserver.ClientSpec{
 			{
 				TotalReservation: skewRes,
@@ -118,16 +128,19 @@ func MultiServer(o Options) (*Report, error) {
 			Servers:          2,
 			Scale:            o.Scale,
 			RecordsPerServer: 512,
-			RebalanceEvery:   rebalance,
+			RebalanceEvery:   rebalances[ri],
 			Seed:             o.Seed,
 		}, specs)
 		if err != nil {
 			return nil, err
 		}
-		out, err := mc.Run(o.WarmupPeriods, o.MeasurePeriods+4)
-		if err != nil {
-			return nil, err
-		}
+		return mc.Run(o.WarmupPeriods, o.MeasurePeriods+4)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rebalance := range rebalances {
+		out := skewOuts[ri]
 		cr := out.PerClient[0]
 		label := "off"
 		if rebalance > 0 {

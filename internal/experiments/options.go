@@ -27,6 +27,13 @@ type Options struct {
 	Records int
 	// Seed drives all randomness.
 	Seed int64
+	// Parallel is the number of independent cluster runs an experiment
+	// may execute concurrently (each on its own kernel). 0 or 1 runs
+	// sequentially. Results are merged by sweep index, so the output is
+	// identical at any worker count; see internal/parallel. When
+	// Parallel > 1 and Observe is set, the OnResults hook must be safe
+	// for concurrent use and its invocation order is not deterministic.
+	Parallel int
 	// Observe, when non-nil, enables the observability layer (per-I/O
 	// flight-recorder spans, metrics sampling) on every cluster the
 	// experiment constructs. Use its OnResults hook to capture each
@@ -83,7 +90,18 @@ func (o Options) validate() (Options, error) {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
+	if o.Parallel < 0 {
+		return o, fmt.Errorf("experiments: Parallel must be >= 0, got %d", o.Parallel)
+	}
 	return o, nil
+}
+
+// workers returns the worker count for parallel.Map sweeps.
+func (o Options) workers() int {
+	if o.Parallel <= 1 {
+		return 1
+	}
+	return o.Parallel
 }
 
 // baseConfig builds the cluster config for this option set.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/haechi-qos/haechi/internal/cluster"
+	"github.com/haechi-qos/haechi/internal/parallel"
 	"github.com/haechi-qos/haechi/internal/workload"
 )
 
@@ -55,16 +56,23 @@ func Fig6(o Options) (*Report, error) {
 		Title:  "Per-client saturation throughput (burst-64, one client at a time)",
 		Header: []string{"client", "1-sided", "2-sided", "2-sided/1-sided"},
 	}
-	var sum1, sum2 float64
-	for c := 0; c < o.Clients; c++ {
+	points, err := parallel.Map(o.workers(), o.Clients, func(c int) ([2]float64, error) {
 		one, err := o.saturationRun(1, false, o.Seed+int64(c))
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		two, err := o.saturationRun(1, true, o.Seed+int64(c))
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
+		return [2]float64{one, two}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sum1, sum2 float64
+	for c, pt := range points {
+		one, two := pt[0], pt[1]
 		sum1 += one
 		sum2 += two
 		t.AddRow(fmt.Sprintf("C%d", c+1), kiops(one, o.Scale), kiops(two, o.Scale),
@@ -92,18 +100,23 @@ func Fig7(o Options) (*Report, error) {
 		Title:  "Data node throughput vs number of active clients (burst-64)",
 		Header: []string{"clients", "1-sided", "2-sided"},
 	}
-	var knee1 []float64
-	for n := 1; n <= o.Clients; n++ {
+	points, err := parallel.Map(o.workers(), o.Clients, func(i int) ([2]float64, error) {
+		n := i + 1
 		one, err := o.saturationRun(n, false, o.Seed)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		two, err := o.saturationRun(n, true, o.Seed)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
-		knee1 = append(knee1, one)
-		t.AddRow(fmt.Sprintf("%d", n), kiops(one, o.Scale), kiops(two, o.Scale))
+		return [2]float64{one, two}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		t.AddRow(fmt.Sprintf("%d", i+1), kiops(pt[0], o.Scale), kiops(pt[1], o.Scale))
 	}
 	return &Report{
 		ID:      "fig7",
@@ -168,7 +181,8 @@ func Fig8(o Options) (*Report, error) {
 		ID:      "fig8",
 		Caption: "I/O completions with different demand distributions and request patterns (Fig. 8)",
 	}
-	for _, tc := range cases {
+	runs, err := parallel.Map(o.workers(), len(cases), func(ci int) (*cluster.Results, error) {
+		tc := cases[ci]
 		specs := make([]cluster.ClientSpec, o.Clients)
 		for i := range specs {
 			d := tc.demands[i]
@@ -181,10 +195,13 @@ func Fig8(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := cl.Run(o.WarmupPeriods, o.MeasurePeriods)
-		if err != nil {
-			return nil, err
-		}
+		return cl.Run(o.WarmupPeriods, o.MeasurePeriods)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, tc := range cases {
+		res := runs[ci]
 		t := &Table{
 			Title:  tc.name,
 			Header: []string{"client", "demand/period", "completed/period", "attainment"},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/haechi-qos/haechi/internal/cluster"
+	"github.com/haechi-qos/haechi/internal/parallel"
 	"github.com/haechi-qos/haechi/internal/workload"
 )
 
@@ -108,15 +109,20 @@ func Fig9(o Options) (*Report, error) {
 		ID:      "fig9",
 		Caption: "Completed I/Os with sufficient demand: reservation vs Haechi vs bare (Fig. 9)",
 	}
-	for _, dist := range []string{"uniform", "zipf"} {
-		res, err := o.reservations(dist, 0.9)
+	dists := []string{"uniform", "zipf"}
+	type fig9Point struct {
+		res       []int64
+		qos, bare *cluster.Results
+	}
+	points, err := parallel.Map(o.workers(), len(dists), func(di int) (fig9Point, error) {
+		res, err := o.reservations(dists[di], 0.9)
 		if err != nil {
-			return nil, err
+			return fig9Point{}, err
 		}
 		demand := o.demandRPlusPool(res)
 		qos, err := o.runQoS(cluster.Haechi, o.qosSpecs(res, demand), nil)
 		if err != nil {
-			return nil, err
+			return fig9Point{}, err
 		}
 		bareSpecs := o.qosSpecs(res, demand)
 		for i := range bareSpecs {
@@ -124,8 +130,15 @@ func Fig9(o Options) (*Report, error) {
 		}
 		bare, err := o.runQoS(cluster.Bare, bareSpecs, nil)
 		if err != nil {
-			return nil, err
+			return fig9Point{}, err
 		}
+		return fig9Point{res: res, qos: qos, bare: bare}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dist := range dists {
+		res, qos, bare := points[di].res, points[di].qos, points[di].bare
 		t := &Table{
 			Title:  fmt.Sprintf("(%s reservation distribution, 90%% reserved)", dist),
 			Header: []string{"client", "reservation", "haechi", "bare", "haechi meets R"},
@@ -172,10 +185,15 @@ func Fig10and11(o Options) (*Report, error) {
 		ID:      "fig10",
 		Caption: "Completed I/Os when C1, C2 demand < reservation: token conversion (Figs. 10, 11)",
 	}
-	for _, dist := range []string{"uniform", "zipf"} {
-		res, err := o.reservations(dist, 0.9)
+	dists := []string{"uniform", "zipf"}
+	type fig10Point struct {
+		res                 []int64
+		haechi, basic, bare *cluster.Results
+	}
+	points, err := parallel.Map(o.workers(), len(dists), func(di int) (fig10Point, error) {
+		res, err := o.reservations(dists[di], 0.9)
 		if err != nil {
-			return nil, err
+			return fig10Point{}, err
 		}
 		full := o.demandRPlusPool(res)
 		demand := func(i int) uint64 {
@@ -186,11 +204,11 @@ func Fig10and11(o Options) (*Report, error) {
 		}
 		haechi, err := o.runQoS(cluster.Haechi, o.qosSpecs(res, demand), nil)
 		if err != nil {
-			return nil, err
+			return fig10Point{}, err
 		}
 		basic, err := o.runQoS(cluster.BasicHaechi, o.qosSpecs(res, demand), nil)
 		if err != nil {
-			return nil, err
+			return fig10Point{}, err
 		}
 		bareSpecs := o.qosSpecs(res, demand)
 		for i := range bareSpecs {
@@ -198,8 +216,15 @@ func Fig10and11(o Options) (*Report, error) {
 		}
 		bare, err := o.runQoS(cluster.Bare, bareSpecs, nil)
 		if err != nil {
-			return nil, err
+			return fig10Point{}, err
 		}
+		return fig10Point{res: res, haechi: haechi, basic: basic, bare: bare}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dist := range dists {
+		res, haechi, basic, bare := points[di].res, points[di].haechi, points[di].basic, points[di].bare
 
 		t := &Table{
 			Title:  fmt.Sprintf("(%s reservation distribution; C1, C2 at 50%% demand)", dist),
@@ -241,18 +266,28 @@ func Fig12(o Options) (*Report, error) {
 		Title:  "Haechi throughput vs reserved capacity fraction",
 		Header: []string{"reserved %", "uniform", "zipf"},
 	}
-	for _, frac := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+	fracs := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	dists := []string{"uniform", "zipf"}
+	// One grid point per (fraction, distribution) pair, row-major.
+	points, err := parallel.Map(o.workers(), len(fracs)*len(dists), func(i int) (float64, error) {
+		frac, dist := fracs[i/len(dists)], dists[i%len(dists)]
+		res, err := o.reservations(dist, frac)
+		if err != nil {
+			return 0, err
+		}
+		out, err := o.runQoS(cluster.Haechi, o.qosSpecs(res, o.demandRPlusShare(res)), nil)
+		if err != nil {
+			return 0, err
+		}
+		return out.ThroughputPerPeriod, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, frac := range fracs {
 		row := []string{fmt.Sprintf("%.0f%%", 100*frac)}
-		for _, dist := range []string{"uniform", "zipf"} {
-			res, err := o.reservations(dist, frac)
-			if err != nil {
-				return nil, err
-			}
-			out, err := o.runQoS(cluster.Haechi, o.qosSpecs(res, o.demandRPlusShare(res)), nil)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, count(out.ThroughputPerPeriod, o.Scale))
+		for di := range dists {
+			row = append(row, count(points[fi*len(dists)+di], o.Scale))
 		}
 		t.AddRow(row...)
 	}

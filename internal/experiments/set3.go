@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/haechi-qos/haechi/internal/cluster"
+	"github.com/haechi-qos/haechi/internal/parallel"
 	"github.com/haechi-qos/haechi/internal/sim"
 	"github.com/haechi-qos/haechi/internal/workload"
 )
@@ -41,23 +42,27 @@ func Fig13to15(o Options) (*Report, error) {
 		name string
 		res  *cluster.Results
 	}
-	var outcomes []outcome
-	for _, pc := range []struct {
+	patterns := []struct {
 		name    string
 		pattern workload.Pattern
 	}{
 		{"burst", workload.Burst{}},
 		{"constant-rate", workload.ConstantRate{}},
-	} {
+	}
+	outcomes, err := parallel.Map(o.workers(), len(patterns), func(pi int) (outcome, error) {
+		pc := patterns[pi]
 		specs := o.qosSpecs(res, demand)
 		for i := range specs {
 			specs[i].Pattern = pc.pattern
 		}
 		out, err := o.runQoS(cluster.Haechi, specs, nil)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
-		outcomes = append(outcomes, outcome{pc.name, out})
+		return outcome{pc.name, out}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	t13 := &Table{

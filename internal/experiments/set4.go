@@ -4,9 +4,17 @@ import (
 	"fmt"
 
 	"github.com/haechi-qos/haechi/internal/cluster"
+	"github.com/haechi-qos/haechi/internal/parallel"
 	"github.com/haechi-qos/haechi/internal/rdma"
 	"github.com/haechi-qos/haechi/internal/sim"
 )
+
+// congestionPoint is one Set-4 adaptation run: the results and the
+// instant the background load toggled.
+type congestionPoint struct {
+	out      *cluster.Results
+	switchAt sim.Time
+}
 
 // set4Periods returns the timeline length for the adaptation experiments:
 // the estimator needs its history window to converge, so the window is at
@@ -154,11 +162,16 @@ func Fig16and17(o Options) (*Report, error) {
 		ID:      "fig16",
 		Caption: "Effect of increased network congestion: overestimation handling (Figs. 16, 17)",
 	}
-	for _, dist := range []string{"uniform", "zipf"} {
-		out, switchAt, err := o.congestionRun(dist, false)
-		if err != nil {
-			return nil, err
-		}
+	dists := []string{"uniform", "zipf"}
+	points, err := parallel.Map(o.workers(), len(dists), func(di int) (congestionPoint, error) {
+		out, switchAt, err := o.congestionRun(dists[di], false)
+		return congestionPoint{out: out, switchAt: switchAt}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dist := range dists {
+		out, switchAt := points[di].out, points[di].switchAt
 		rep.Tables = append(rep.Tables, o.timelineTable(
 			fmt.Sprintf("(%s reservations, congestion starts at %v)", dist, switchAt), out, switchAt))
 		before, after := phaseMeans(out, switchAt)
@@ -184,11 +197,16 @@ func Fig18and19(o Options) (*Report, error) {
 		ID:      "fig18",
 		Caption: "Effect of decreased network congestion: underestimation handling (Figs. 18, 19)",
 	}
-	for _, dist := range []string{"uniform", "zipf"} {
-		out, switchAt, err := o.congestionRun(dist, true)
-		if err != nil {
-			return nil, err
-		}
+	dists := []string{"uniform", "zipf"}
+	points, err := parallel.Map(o.workers(), len(dists), func(di int) (congestionPoint, error) {
+		out, switchAt, err := o.congestionRun(dists[di], true)
+		return congestionPoint{out: out, switchAt: switchAt}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dist := range dists {
+		out, switchAt := points[di].out, points[di].switchAt
 		rep.Tables = append(rep.Tables, o.timelineTable(
 			fmt.Sprintf("(%s reservations, congestion stops at %v)", dist, switchAt), out, switchAt))
 		before, after := phaseMeans(out, switchAt)

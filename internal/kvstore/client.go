@@ -17,6 +17,12 @@ const probeWindow = 8
 // Client is the client-side accessor: one-sided GETs against the store's
 // registered regions plus a two-sided RPC path. It maintains a location
 // cache so a warm GET is exactly one one-sided 4 KB READ.
+//
+// One-sided completions are not captured in per-operation closures: reads
+// of one kind on a QP complete in issue order (every pipeline stage is
+// FIFO within a class), so the client keeps a FIFO of pending callbacks
+// per I/O kind and hands the fabric one method bound at Attach. A warm
+// GET or Update therefore allocates nothing on the client side.
 type Client struct {
 	node       *rdma.Node
 	store      *Store
@@ -33,11 +39,55 @@ type Client struct {
 	pendingGet map[uint64]func([]byte, error)
 	pendingPut map[uint64]func(error)
 
+	// Pending one-sided completions, FIFO per I/O kind, with the bound
+	// completion methods handed to the fabric.
+	dataPending   fifo[func([]byte, error)]
+	probePending  fifo[probeState]
+	writePending  fifo[func(error)]
+	onDataReadFn  func([]byte)
+	onProbeFn     func([]byte)
+	onWriteDoneFn func()
+
 	// oneSidedGets counts one-sided data reads issued (probe reads are
 	// counted separately); oneSidedPuts counts one-sided record writes.
 	oneSidedGets uint64
 	oneSidedPuts uint64
 	probeReads   uint64
+}
+
+// probeState is the continuation of an in-flight index probe read.
+type probeState struct {
+	key   uint64
+	pos   uint64
+	depth uint64
+	n     uint64
+	cb    func([]byte, error)
+}
+
+// fifo is a generic queue backed by a reusable slice; pop compacts lazily
+// so steady-state traffic stops allocating once the buffer reaches its
+// high-water mark.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *fifo[T]) pop() T {
+	var zero T
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head >= len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
 }
 
 // Attach connects node to store over the fabric. disp is the client-side
@@ -64,6 +114,9 @@ func Attach(node *rdma.Node, disp *rdma.Dispatcher, store *Store) (*Client, erro
 		pendingGet: make(map[uint64]func([]byte, error)),
 		pendingPut: make(map[uint64]func(error)),
 	}
+	c.onDataReadFn = c.onDataRead
+	c.onProbeFn = c.onProbe
+	c.onWriteDoneFn = c.onWriteDone
 	if disp != nil {
 		if err := disp.Handle(msgGetResp, c.handleGetResp); err != nil {
 			return nil, err
@@ -122,18 +175,28 @@ func (c *Client) Get(key uint64, cb func(value []byte, err error)) error {
 }
 
 func (c *Client) readData(off int, cb func([]byte, error)) error {
-	err := c.qp.Read(c.data, off, c.recordSize, func(data []byte) {
-		cb(data, nil)
-	})
+	err := c.qp.Read(c.data, off, c.recordSize, c.onDataReadFn)
 	if err == nil {
+		c.dataPending.push(cb)
 		c.oneSidedGets++
 	}
 	return err
 }
 
+// onDataRead completes the oldest pending data READ. Data reads on the
+// QP complete in issue order, so the head of the FIFO is the matching
+// callback. A READ never fails after issue, so push/pop counts balance.
+func (c *Client) onDataRead(data []byte) {
+	cb := c.dataPending.pop()
+	cb(data, nil)
+}
+
 // probe reads a window of index slots starting at slot position pos
 // (probed slots so far: depth) and either resolves the key, fails with
-// ErrNotFound at the first unoccupied slot, or continues probing.
+// ErrNotFound at the first unoccupied slot, or continues probing. The
+// continuation state is queued FIFO: probe reads are all control-class
+// operations on one QP, so they too complete in issue order even when
+// several keys resolve concurrently.
 func (c *Client) probe(key uint64, pos, depth uint64, cb func([]byte, error)) error {
 	if depth > c.mask {
 		cb(nil, ErrNotFound)
@@ -146,32 +209,36 @@ func (c *Client) probe(key uint64, pos, depth uint64, cb func([]byte, error)) er
 	}
 	off := int(pos) * slotSize
 	size := int(n) * slotSize
-	err := c.qp.Read(c.index, off, size, func(raw []byte) {
-		for i := uint64(0); i < n; i++ {
-			k := leUint64(raw[i*slotSize:])
-			state := leUint64(raw[i*slotSize+8:])
-			if state&occupiedBit == 0 {
-				cb(nil, ErrNotFound)
-				return
-			}
-			if k == key {
-				dataOff := int(state &^ occupiedBit)
-				c.cache[key] = dataOff
-				if err := c.readData(dataOff, cb); err != nil {
-					cb(nil, err)
-				}
-				return
-			}
-		}
-		next := (pos + n) & c.mask
-		if err := c.probe(key, next, depth+n, cb); err != nil {
-			cb(nil, err)
-		}
-	})
+	err := c.qp.Read(c.index, off, size, c.onProbeFn)
 	if err == nil {
+		c.probePending.push(probeState{key: key, pos: pos, depth: depth, n: n, cb: cb})
 		c.probeReads++
 	}
 	return err
+}
+
+func (c *Client) onProbe(raw []byte) {
+	st := c.probePending.pop()
+	for i := uint64(0); i < st.n; i++ {
+		k := leUint64(raw[i*slotSize:])
+		state := leUint64(raw[i*slotSize+8:])
+		if state&occupiedBit == 0 {
+			st.cb(nil, ErrNotFound)
+			return
+		}
+		if k == st.key {
+			dataOff := int(state &^ occupiedBit)
+			c.cache[st.key] = dataOff
+			if err := c.readData(dataOff, st.cb); err != nil {
+				st.cb(nil, err)
+			}
+			return
+		}
+	}
+	next := (st.pos + st.n) & c.mask
+	if err := c.probe(st.key, next, st.depth+st.n, st.cb); err != nil {
+		st.cb(nil, err)
+	}
 }
 
 func leUint64(b []byte) uint64 {
@@ -218,11 +285,20 @@ func (c *Client) writeData(off int, value []byte, cb func(error)) error {
 		copy(padded, buf)
 		buf = padded
 	}
-	err := c.qp.Write(c.data, off, buf, func() { cb(nil) })
+	err := c.qp.Write(c.data, off, buf, c.onWriteDoneFn)
 	if err == nil {
+		c.writePending.push(cb)
 		c.oneSidedPuts++
 	}
 	return err
+}
+
+// onWriteDone completes the oldest pending record WRITE (record writes
+// all carry the same size, hence the same class, and complete in issue
+// order on the QP).
+func (c *Client) onWriteDone() {
+	cb := c.writePending.pop()
+	cb(nil)
 }
 
 // GetTwoSided performs a GET through the server CPU (the conventional RPC

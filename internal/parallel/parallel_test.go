@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(workers, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := make([]int, 20)
+		for i := range want {
+			want[i] = i * i
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 16, func(i int) (int, error) {
+			switch i {
+			case 5:
+				return 0, errA
+			case 11:
+				return 0, errors.New("b")
+			}
+			return i, nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: got %v, want error from index 5", workers, err)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	var calls [100]int32
+	_, err := Map(8, 100, func(i int) (struct{}, error) {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapWorkerCountDoesNotChangeResults(t *testing.T) {
+	run := func(workers int) []string {
+		out, err := Map(workers, 37, func(i int) (string, error) {
+			return fmt.Sprintf("point-%03d", i*7%37), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 3, 8, 37} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged from sequential", workers)
+		}
+	}
+}

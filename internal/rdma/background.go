@@ -20,6 +20,14 @@ type BackgroundJob struct {
 	running     bool
 	outstanding int
 	completed   uint64
+
+	// Pipeline-stage callbacks, bound once at construction. Background
+	// I/Os all take the same three-stage path (initiator NIC, wire,
+	// target scheduler) and each stage is FIFO, so the job needs no
+	// per-operation state and issuing an I/O allocates nothing.
+	onInitFn   func()
+	onArriveFn func()
+	onDoneFn   func()
 }
 
 // NewBackgroundJob creates a stopped job that keeps window one-sided reads
@@ -39,13 +47,17 @@ func NewBackgroundJob(f *Fabric, name string, target *Node, window int) (*Backgr
 	// remove them from the public node list so experiments iterate only
 	// real cluster nodes.
 	f.nodes = f.nodes[:len(f.nodes)-1]
-	return &BackgroundJob{
+	b := &BackgroundJob{
 		fabric:    f,
 		target:    target,
 		initiator: initiator,
 		queue:     newDataQueue(nil),
 		window:    window,
-	}, nil
+	}
+	b.onInitFn = b.onInit
+	b.onArriveFn = b.onArrive
+	b.onDoneFn = b.onDone
+	return b, nil
 }
 
 // Start begins (or resumes) injecting load.
@@ -70,17 +82,25 @@ func (b *BackgroundJob) Completed() uint64 { return b.completed }
 
 func (b *BackgroundJob) issue() {
 	b.outstanding++
-	k := b.fabric.k
-	prop := b.fabric.cfg.PropagationDelay
-	b.initiator.nic.SubmitWeighted(1, func() {
-		k.Schedule(prop, func() {
-			b.target.sched.enqueue(b.queue, flowOp{weight: 1, complete: func() {
-				b.outstanding--
-				b.completed++
-				if b.running {
-					b.issue()
-				}
-			}})
-		})
-	})
+	b.initiator.nic.SubmitWeighted(1, b.onInitFn)
+}
+
+// onInit: the initiator NIC transmitted one background I/O; cross the wire.
+func (b *BackgroundJob) onInit() {
+	b.fabric.k.Schedule(b.fabric.cfg.PropagationDelay, b.onArriveFn)
+}
+
+// onArrive: the I/O reached the target; queue it at the round-robin
+// scheduler as a raw unit-weight operation.
+func (b *BackgroundJob) onArrive() {
+	b.target.sched.enqueue(b.queue, flowOp{kind: opFunc, weight: 1, completeFn: b.onDoneFn})
+}
+
+// onDone: the target serviced the I/O and the completion propagated back.
+func (b *BackgroundJob) onDone() {
+	b.outstanding--
+	b.completed++
+	if b.running {
+		b.issue()
+	}
 }

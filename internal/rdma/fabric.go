@@ -162,6 +162,7 @@ func (f *Fabric) addNode(name string, kind NodeKind) (*Node, error) {
 		regions: make(map[string]*Region),
 	}
 	n.sched.node = n
+	n.sched.onServedFn = n.sched.onServed
 	var err error
 	switch kind {
 	case ClientNode:
@@ -190,13 +191,15 @@ func (f *Fabric) Connect(initiator, target *Node) (*QP, error) {
 		return nil, fmt.Errorf("rdma: Connect across fabrics (%s -> %s)", initiator.name, target.name)
 	}
 	f.qpSeq++
-	return &QP{
+	qp := &QP{
 		fabric:    f,
 		id:        f.qpSeq,
 		initiator: initiator,
 		target:    target,
 		window:    f.cfg.FlowControlWindow,
-	}, nil
+	}
+	qp.bindStages()
+	return qp, nil
 }
 
 // twoSidedExtraWeight is the additional initiation cost of a two-sided

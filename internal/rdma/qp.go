@@ -17,6 +17,15 @@ import (
 // target CPU: their memory effects are applied by the simulated target NIC
 // at its service-completion instant. Two-sided Sends are handed to the
 // target CPU (for servers) and delivered to the node's receive handler.
+//
+// Verbs are represented as plain flowOp values that move through per-QP
+// per-stage FIFOs; every pipeline stage completes through a callback
+// bound once at Connect. This exploits the FIFO ordering each stage
+// already guarantees (stations are FIFO within a class, the wire is a
+// constant delay, the kernel breaks ties by scheduling order), so posting
+// a verb allocates no per-operation closures — the only per-op
+// allocations left are the payload copy a WRITE semantically requires
+// and the optional flight-recorder span.
 type QP struct {
 	fabric    *Fabric
 	id        int
@@ -30,19 +39,154 @@ type QP struct {
 	// the target's round-robin scheduler.
 	window   int
 	inFlight int
-	waiting  []flowOp
+	waiting  opFIFO
 	serverQ  *dataQueue
+
+	// Pipeline-stage FIFOs. Control-class and bulk-class operations each
+	// traverse their own initiator-NIC and wire stages (the two classes
+	// complete out of order relative to each other, but FIFO within a
+	// class); the remaining queues cover the target-side and delivery
+	// stages. deliver is shared by every op kind: each push is paired
+	// with scheduling one propagation-delayed event, so events pop in
+	// push order.
+	ctrlInit  opFIFO // awaiting initiator-NIC priority completion
+	ctrlWire  opFIFO // on the wire toward the target (control class)
+	ctrlServe opFIFO // awaiting target-NIC priority completion
+	bulkInit  opFIFO // awaiting initiator-NIC bulk completion
+	bulkWire  opFIFO // on the wire toward the target (bulk class)
+	sendBulk  opFIFO // bulk SENDs awaiting a client target's NIC
+	sendSrv   opFIFO // SENDs awaiting a server target's NIC
+	sendCPU   opFIFO // SENDs awaiting a server target's CPU
+	loopCtrl  opFIFO // loopback control ops at the initiator NIC
+	loopBulk  opFIFO // loopback bulk ops at the initiator NIC
+	deliver   opFIFO // completions awaiting delivery at the initiator
+
+	// Stage callbacks, bound once at Connect.
+	ctrlInitDoneFn func()
+	ctrlArriveFn   func()
+	ctrlServedFn   func()
+	bulkInitDoneFn func()
+	bulkArriveFn   func()
+	sendBulkFn     func()
+	sendSrvFn      func()
+	sendCPUFn      func()
+	loopCtrlFn     func()
+	loopBulkFn     func()
+	deliverFn      func()
 }
 
-// flowOp is a data operation waiting for a flow-control credit. weight is
-// the target-side service weight; initWeight the initiator-side one.
-// span, when non-nil, is the flight-recorder span tracking the op.
+func (qp *QP) bindStages() {
+	qp.ctrlInitDoneFn = qp.ctrlInitDone
+	qp.ctrlArriveFn = qp.ctrlArrive
+	qp.ctrlServedFn = qp.ctrlServed
+	qp.bulkInitDoneFn = qp.bulkInitDone
+	qp.bulkArriveFn = qp.bulkArrive
+	qp.sendBulkFn = qp.sendBulkServed
+	qp.sendSrvFn = qp.sendSrvServed
+	qp.sendCPUFn = qp.sendCPUServed
+	qp.loopCtrlFn = qp.loopCtrlServed
+	qp.loopBulkFn = qp.loopBulkServed
+	qp.deliverFn = qp.deliverNext
+}
+
+// opKind tags the operation a flowOp value carries through the pipeline.
+type opKind uint8
+
+const (
+	// opFunc is a raw apply/complete pair used by injection paths (e.g.
+	// background jobs) that enqueue directly at a target scheduler.
+	opFunc opKind = iota
+	opRead
+	opWrite
+	opFetchAdd
+	opCompareSwap
+	opSend
+)
+
+// flowOp is one verb moving through the pipeline. It is a value type:
+// stage FIFOs copy it, so the struct carries everything a stage needs —
+// the routing class, the target memory range, the payload, the result of
+// an atomic, and the caller's completion callback. span, when non-nil, is
+// the flight-recorder span tracking the op.
 type flowOp struct {
+	kind    opKind
+	control bool
+	qp      *QP
+
+	// weight is the target-side service weight; initWeight the
+	// initiator-side one.
 	weight     float64
 	initWeight float64
-	apply      func()
-	complete   func()
-	span       *trace.Span
+
+	region *Region
+	off    int
+	size   int
+	buf    []byte // WRITE payload, captured at call time
+
+	delta  int64 // FETCH_ADD
+	expect int64 // CMP_SWAP
+	swap   int64
+	result int64 // atomic result, filled at apply time
+
+	payload any // SEND payload
+
+	readCB func(data []byte)
+	u64CB  func(old int64)
+	doneCB func()
+
+	applyFn    func() // opFunc only
+	completeFn func()
+
+	span *trace.Span
+}
+
+// needsDeliver reports whether the op schedules a completion delivery
+// back at the initiator after its memory effect is applied. READs and
+// atomics always deliver (the old value or the data travels back);
+// WRITEs and SENDs only when the caller asked for a completion callback.
+func (op *flowOp) needsDeliver() bool {
+	switch op.kind {
+	case opRead, opFetchAdd, opCompareSwap:
+		return true
+	case opWrite, opSend:
+		return op.doneCB != nil
+	}
+	return false
+}
+
+// apply performs the op's memory effect at the target; for atomics the
+// pre-operation value is stored in op.result for delivery.
+func (op *flowOp) apply() {
+	switch op.kind {
+	case opWrite:
+		copy(op.region.buf[op.off:], op.buf)
+	case opFetchAdd:
+		old := int64(binary.LittleEndian.Uint64(op.region.buf[op.off:]))
+		binary.LittleEndian.PutUint64(op.region.buf[op.off:], uint64(old+op.delta))
+		op.result = old
+	case opCompareSwap:
+		old := int64(binary.LittleEndian.Uint64(op.region.buf[op.off:]))
+		if old == op.expect {
+			binary.LittleEndian.PutUint64(op.region.buf[op.off:], uint64(op.swap))
+		}
+		op.result = old
+	}
+}
+
+// invokeCB runs the caller's completion callback.
+func (op *flowOp) invokeCB() {
+	switch op.kind {
+	case opRead:
+		op.readCB(op.region.bytes(op.off, op.size))
+	case opFetchAdd, opCompareSwap:
+		if op.u64CB != nil {
+			op.u64CB(op.result)
+		}
+	case opWrite, opSend:
+		if op.doneCB != nil {
+			op.doneCB()
+		}
+	}
 }
 
 // Initiator returns the initiating node.
@@ -96,71 +240,120 @@ func submitNIC(st *sim.Station, weight float64, control bool, done func()) {
 // completion. For loopback QPs the op traverses the NIC once and skips the
 // wire.
 //
-// When sp is non-nil the pipeline stamps the span's stage timestamps.
-// Stamps happen strictly inside callbacks the pipeline runs anyway and
-// the span is finished at the memory-effect instant when the caller
-// supplied no completion — recording never schedules an event of its
-// own, so the kernel's event sequence is identical with tracing on or
-// off.
-func (qp *QP) initiate(initWeight, targetWeight float64, control bool, sp *trace.Span, apply func(), complete func()) {
-	k := qp.fabric.k
-	prop := qp.fabric.cfg.PropagationDelay
-	if sp != nil {
-		fr := qp.fabric.flight
-		origApply, origComplete := apply, complete
-		if origComplete != nil {
-			apply = func() {
-				sp.Served = k.Now()
-				origApply()
-			}
-			complete = func() {
-				sp.Done = k.Now()
-				fr.Finish(sp)
-				origComplete()
-			}
+// When the op carries a span the pipeline stamps the span's stage
+// timestamps. Stamps happen strictly inside callbacks the pipeline runs
+// anyway and the span is finished at the memory-effect instant when the
+// op needs no delivery — recording never schedules an event of its own,
+// so the kernel's event sequence is identical with tracing on or off.
+func (qp *QP) initiate(op flowOp) {
+	if qp.loopback() {
+		if op.control {
+			qp.loopCtrl.push(op)
+			qp.initiator.nic.SubmitPriority(op.weight, qp.loopCtrlFn)
 		} else {
-			apply = func() {
-				sp.Served = k.Now()
-				fr.Finish(sp)
-				origApply()
-			}
+			qp.loopBulk.push(op)
+			qp.initiator.nic.SubmitWeighted(op.weight, qp.loopBulkFn)
+		}
+		return
+	}
+	if op.control {
+		qp.ctrlInit.push(op)
+		qp.initiator.nic.SubmitPriority(op.initWeight, qp.ctrlInitDoneFn)
+		return
+	}
+	qp.admitData(op)
+}
+
+// ctrlInitDone: a control op finished initiator-NIC service; put it on
+// the wire.
+func (qp *QP) ctrlInitDone() {
+	op := qp.ctrlInit.pop()
+	k := qp.fabric.k
+	if op.span != nil {
+		op.span.InitDone = k.Now()
+	}
+	qp.ctrlWire.push(op)
+	k.Schedule(qp.fabric.cfg.PropagationDelay, qp.ctrlArriveFn)
+}
+
+// ctrlArrive: a control op reached the target; charge the target NIC's
+// priority path.
+func (qp *QP) ctrlArrive() {
+	op := qp.ctrlWire.pop()
+	if op.span != nil {
+		op.span.Arrived = qp.fabric.k.Now()
+	}
+	if op.kind == opSend {
+		qp.sendTargetSubmit(op)
+		return
+	}
+	qp.ctrlServe.push(op)
+	qp.target.nic.SubmitPriority(op.weight, qp.ctrlServedFn)
+}
+
+// ctrlServed: the target NIC finished a control-class op — either a
+// one-sided verb (apply its effect) or a SEND to a client target
+// (deliver it).
+func (qp *QP) ctrlServed() {
+	op := qp.ctrlServe.pop()
+	if op.kind == opSend {
+		qp.sendDeliver(op)
+		return
+	}
+	qp.serveOp(op)
+}
+
+// serveOp applies a one-sided op's memory effect at target-service
+// completion and schedules the completion delivery back to the initiator.
+// Shared by the control path, the bulk scheduler path, and (without the
+// propagation hop) the loopback path.
+func (qp *QP) serveOp(op flowOp) {
+	k := qp.fabric.k
+	if op.span != nil {
+		op.span.Served = k.Now()
+		if !op.needsDeliver() {
+			qp.fabric.flight.Finish(op.span)
 		}
 	}
-	if qp.loopback() {
-		submitNIC(qp.initiator.nic, targetWeight, control, func() {
-			apply()
-			if complete != nil {
-				complete()
-			}
-		})
-		return
+	op.apply()
+	if op.needsDeliver() {
+		qp.deliver.push(op)
+		k.Schedule(qp.fabric.cfg.PropagationDelay, qp.deliverFn)
 	}
-	if control {
-		qp.initiator.nic.SubmitPriority(initWeight, func() {
-			if sp != nil {
-				sp.InitDone = k.Now()
-			}
-			k.Schedule(prop, func() {
-				if sp != nil {
-					sp.Arrived = k.Now()
-				}
-				qp.target.nic.SubmitPriority(targetWeight, func() {
-					apply()
-					if complete != nil {
-						k.Schedule(prop, complete)
-					}
-				})
-			})
-		})
-		return
+}
+
+// deliverNext completes the oldest delivered op at the initiator.
+func (qp *QP) deliverNext() {
+	op := qp.deliver.pop()
+	if op.span != nil {
+		op.span.Done = qp.fabric.k.Now()
+		qp.fabric.flight.Finish(op.span)
 	}
-	qp.admitData(flowOp{
-		weight:     targetWeight,
-		initWeight: initWeight,
-		apply:      apply,
-		complete:   complete,
-		span:       sp,
-	})
+	op.invokeCB()
+}
+
+// loopCtrlServed / loopBulkServed: a loopback op traversed the NIC once;
+// its effect and completion happen at the same instant, with no wire.
+func (qp *QP) loopCtrlServed() { qp.loopServe(qp.loopCtrl.pop()) }
+
+func (qp *QP) loopBulkServed() { qp.loopServe(qp.loopBulk.pop()) }
+
+func (qp *QP) loopServe(op flowOp) {
+	k := qp.fabric.k
+	if op.span != nil {
+		op.span.Served = k.Now()
+		if !op.needsDeliver() {
+			qp.fabric.flight.Finish(op.span)
+		}
+	}
+	op.apply()
+	if op.needsDeliver() {
+		if op.span != nil {
+			op.span.Done = k.Now()
+			qp.fabric.flight.Finish(op.span)
+		}
+		op.invokeCB()
+	}
 }
 
 // admitData applies per-QP flow control at the initiator, before the
@@ -173,7 +366,7 @@ func (qp *QP) admitData(op flowOp) {
 		qp.serverQ = newDataQueue(qp.releaseCredit)
 	}
 	if qp.window > 0 && qp.inFlight >= qp.window {
-		qp.waiting = append(qp.waiting, op)
+		qp.waiting.push(op)
 		return
 	}
 	qp.transmit(op)
@@ -183,33 +376,97 @@ func (qp *QP) admitData(op flowOp) {
 // then the target's round-robin scheduler.
 func (qp *QP) transmit(op flowOp) {
 	qp.inFlight++
-	k := qp.fabric.k
-	prop := qp.fabric.cfg.PropagationDelay
 	if op.span != nil {
-		op.span.Credit = k.Now()
+		op.span.Credit = qp.fabric.k.Now()
 	}
-	qp.initiator.nic.SubmitWeighted(op.initWeight, func() {
-		if op.span != nil {
-			op.span.InitDone = k.Now()
-		}
-		k.Schedule(prop, func() {
-			if op.span != nil {
-				op.span.Arrived = k.Now()
-			}
-			qp.target.sched.enqueue(qp.serverQ, op)
-		})
-	})
+	qp.bulkInit.push(op)
+	qp.initiator.nic.SubmitWeighted(op.initWeight, qp.bulkInitDoneFn)
+}
+
+// bulkInitDone: a bulk-class op (data transfer or bulk SEND) finished
+// initiator-NIC service; put it on the wire.
+func (qp *QP) bulkInitDone() {
+	op := qp.bulkInit.pop()
+	k := qp.fabric.k
+	if op.span != nil {
+		op.span.InitDone = k.Now()
+	}
+	qp.bulkWire.push(op)
+	k.Schedule(qp.fabric.cfg.PropagationDelay, qp.bulkArriveFn)
+}
+
+// bulkArrive: a bulk-class op reached the target. Data ops queue at the
+// target's round-robin scheduler; bulk SENDs go to the target NIC
+// directly (they are not flow-controlled).
+func (qp *QP) bulkArrive() {
+	op := qp.bulkWire.pop()
+	if op.span != nil {
+		op.span.Arrived = qp.fabric.k.Now()
+	}
+	if op.kind == opSend {
+		qp.sendTargetSubmit(op)
+		return
+	}
+	qp.target.sched.enqueue(qp.serverQ, op)
 }
 
 // releaseCredit returns one flow-control credit after a serviced op and
 // admits the next waiting operation, if any.
 func (qp *QP) releaseCredit() {
 	qp.inFlight--
-	if len(qp.waiting) > 0 {
-		next := qp.waiting[0]
-		qp.waiting[0] = flowOp{}
-		qp.waiting = qp.waiting[1:]
-		qp.transmit(next)
+	if !qp.waiting.empty() {
+		qp.transmit(qp.waiting.pop())
+	}
+}
+
+// sendTargetSubmit charges the target-side stations for an arrived SEND.
+// A server target processes the request header on its NIC priority path
+// and then hands the message to the CPU; a client target pays its NIC
+// the size-proportional cost and delivers directly.
+func (qp *QP) sendTargetSubmit(op flowOp) {
+	f := qp.fabric
+	if qp.target.kind == ServerNode {
+		qp.sendSrv.push(op)
+		qp.target.nic.SubmitPriority(f.cfg.SendRequestWeight, qp.sendSrvFn)
+		return
+	}
+	// A client receiving a SEND pays its NIC the size-proportional cost
+	// (a 4 KB RPC reply is real work; a token push is nearly free).
+	w := f.cfg.sizeWeight(op.size)
+	if op.control {
+		qp.ctrlServe.push(op)
+		qp.target.nic.SubmitPriority(w, qp.ctrlServedFn)
+		return
+	}
+	qp.sendBulk.push(op)
+	qp.target.nic.SubmitWeighted(w, qp.sendBulkFn)
+}
+
+func (qp *QP) sendSrvServed() {
+	op := qp.sendSrv.pop()
+	qp.sendCPU.push(op)
+	qp.target.cpu.Submit(qp.sendCPUFn)
+}
+
+func (qp *QP) sendCPUServed() { qp.sendDeliver(qp.sendCPU.pop()) }
+
+func (qp *QP) sendBulkServed() { qp.sendDeliver(qp.sendBulk.pop()) }
+
+// sendDeliver hands an arrived SEND to the target's receive handler and,
+// when the sender asked for a completion callback, schedules it back at
+// the initiator after propagation.
+func (qp *QP) sendDeliver(op flowOp) {
+	k := qp.fabric.k
+	if op.span != nil {
+		op.span.Served = k.Now()
+		if op.doneCB == nil {
+			qp.fabric.flight.Finish(op.span)
+		}
+	}
+	qp.target.recv(qp.initiator, op.payload)
+	if op.doneCB != nil {
+		qp.deliver.push(op)
+		k.Schedule(qp.fabric.cfg.PropagationDelay, qp.deliverFn)
 	}
 }
 
@@ -228,9 +485,17 @@ func (qp *QP) Read(r *Region, off, size int, cb func(data []byte)) error {
 	qp.initiator.stats.BytesRead += uint64(size)
 	qp.target.stats.OneSidedTargeted++
 	control := qp.fabric.cfg.isControl(size)
-	sp := qp.beginSpan(trace.OpRead, control)
-	qp.initiate(w, w, control, sp, func() {}, func() {
-		cb(r.bytes(off, size))
+	qp.initiate(flowOp{
+		kind:       opRead,
+		control:    control,
+		qp:         qp,
+		weight:     w,
+		initWeight: w,
+		region:     r,
+		off:        off,
+		size:       size,
+		readCB:     cb,
+		span:       qp.beginSpan(trace.OpRead, control),
 	})
 	return nil
 }
@@ -252,10 +517,18 @@ func (qp *QP) Write(r *Region, off int, data []byte, cb func()) error {
 	qp.initiator.stats.BytesWritten += uint64(len(buf))
 	qp.target.stats.OneSidedTargeted++
 	control := qp.fabric.cfg.isControl(len(buf))
-	sp := qp.beginSpan(trace.OpWrite, control)
-	qp.initiate(w, w, control, sp, func() {
-		copy(r.buf[off:], buf)
-	}, cb)
+	qp.initiate(flowOp{
+		kind:       opWrite,
+		control:    control,
+		qp:         qp,
+		weight:     w,
+		initWeight: w,
+		region:     r,
+		off:        off,
+		buf:        buf,
+		doneCB:     cb,
+		span:       qp.beginSpan(trace.OpWrite, control),
+	})
 	return nil
 }
 
@@ -280,15 +553,17 @@ func (qp *QP) FetchAdd(r *Region, off int, delta int64, cb func(old int64)) erro
 	w := qp.fabric.cfg.AtomicWeight
 	qp.initiator.stats.FetchAdds++
 	qp.target.stats.OneSidedTargeted++
-	var old int64
-	sp := qp.beginSpan(trace.OpFetchAdd, true)
-	qp.initiate(w, w, true, sp, func() {
-		old = int64(binary.LittleEndian.Uint64(r.buf[off:]))
-		binary.LittleEndian.PutUint64(r.buf[off:], uint64(old+delta))
-	}, func() {
-		if cb != nil {
-			cb(old)
-		}
+	qp.initiate(flowOp{
+		kind:       opFetchAdd,
+		control:    true,
+		qp:         qp,
+		weight:     w,
+		initWeight: w,
+		region:     r,
+		off:        off,
+		delta:      delta,
+		u64CB:      cb,
+		span:       qp.beginSpan(trace.OpFetchAdd, true),
 	})
 	return nil
 }
@@ -307,17 +582,18 @@ func (qp *QP) CompareSwap(r *Region, off int, expect, swap int64, cb func(old in
 	w := qp.fabric.cfg.AtomicWeight
 	qp.initiator.stats.CompareSwaps++
 	qp.target.stats.OneSidedTargeted++
-	var old int64
-	sp := qp.beginSpan(trace.OpCompareSwap, true)
-	qp.initiate(w, w, true, sp, func() {
-		old = int64(binary.LittleEndian.Uint64(r.buf[off:]))
-		if old == expect {
-			binary.LittleEndian.PutUint64(r.buf[off:], uint64(swap))
-		}
-	}, func() {
-		if cb != nil {
-			cb(old)
-		}
+	qp.initiate(flowOp{
+		kind:       opCompareSwap,
+		control:    true,
+		qp:         qp,
+		weight:     w,
+		initWeight: w,
+		region:     r,
+		off:        off,
+		expect:     expect,
+		swap:       swap,
+		u64CB:      cb,
+		span:       qp.beginSpan(trace.OpCompareSwap, true),
 	})
 	return nil
 }
@@ -337,8 +613,6 @@ func (qp *QP) Send(payload any, size int, cb func()) error {
 		return fmt.Errorf("rdma: %s->%s: target has no receive handler", qp.initiator.name, qp.target.name)
 	}
 	f := qp.fabric
-	k := f.k
-	prop := f.cfg.PropagationDelay
 
 	initWeight := f.cfg.sizeWeight(size)
 	if qp.initiator.kind == ClientNode {
@@ -351,47 +625,24 @@ func (qp *QP) Send(payload any, size int, cb func()) error {
 	qp.target.stats.SendsReceived++
 
 	control := f.cfg.isControl(size)
-	fr := f.flight
-	sp := qp.beginSpan(trace.OpSend, control)
-	done := cb
-	if sp != nil && cb != nil {
-		done = func() {
-			sp.Done = k.Now()
-			fr.Finish(sp)
-			cb()
-		}
+	op := flowOp{
+		kind:       opSend,
+		control:    control,
+		qp:         qp,
+		initWeight: initWeight,
+		size:       size,
+		payload:    payload,
+		doneCB:     cb,
+		span:       qp.beginSpan(trace.OpSend, control),
 	}
-	deliver := func() {
-		if sp != nil {
-			sp.Served = k.Now()
-			if cb == nil {
-				fr.Finish(sp)
-			}
-		}
-		qp.target.recv(qp.initiator, payload)
-		if done != nil {
-			k.Schedule(prop, done)
-		}
+	// SENDs are not flow-controlled: they enter the class's initiator-NIC
+	// stage directly.
+	if control {
+		qp.ctrlInit.push(op)
+		qp.initiator.nic.SubmitPriority(initWeight, qp.ctrlInitDoneFn)
+	} else {
+		qp.bulkInit.push(op)
+		qp.initiator.nic.SubmitWeighted(initWeight, qp.bulkInitDoneFn)
 	}
-	submitNIC(qp.initiator.nic, initWeight, control, func() {
-		if sp != nil {
-			sp.InitDone = k.Now()
-		}
-		k.Schedule(prop, func() {
-			if sp != nil {
-				sp.Arrived = k.Now()
-			}
-			if qp.target.kind == ServerNode {
-				submitNIC(qp.target.nic, f.cfg.SendRequestWeight, true, func() {
-					qp.target.cpu.Submit(deliver)
-				})
-			} else {
-				// A client receiving a SEND pays its NIC the
-				// size-proportional cost (a 4 KB RPC reply is real work;
-				// a token push is nearly free).
-				submitNIC(qp.target.nic, f.cfg.sizeWeight(size), control, deliver)
-			}
-		})
-	})
 	return nil
 }

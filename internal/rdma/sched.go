@@ -1,24 +1,21 @@
 package rdma
 
-// dataQueue is one initiator's FIFO of bulk operations awaiting service at
-// a target NIC. The target's scheduler serves non-empty queues round-robin,
-// modelling RNIC arbitration across queue pairs: concurrent clients share
-// the NIC's processing equally, exactly the behaviour the paper measures
-// ("C_G will be divided equally among the clients", Example 2 / Exp. 1C).
-type dataQueue struct {
-	ops    []flowOp
-	head   int
-	inRing bool
-	// release is invoked after each serviced op (flow-control credit
-	// return at the initiator).
-	release func()
+// opFIFO is a queue of flow operations backed by a reusable slice; pop
+// compacts lazily so steady-state traffic stops allocating once the
+// buffer reaches its high-water mark. It is the building block for the
+// per-QP pipeline-stage queues and the scheduler's per-initiator queues.
+type opFIFO struct {
+	ops  []flowOp
+	head int
 }
 
-func (q *dataQueue) push(op flowOp) { q.ops = append(q.ops, op) }
+func (q *opFIFO) push(op flowOp) { q.ops = append(q.ops, op) }
 
-func (q *dataQueue) empty() bool { return q.head >= len(q.ops) }
+func (q *opFIFO) empty() bool { return q.head >= len(q.ops) }
 
-func (q *dataQueue) pop() flowOp {
+func (q *opFIFO) size() int { return len(q.ops) - q.head }
+
+func (q *opFIFO) pop() flowOp {
 	op := q.ops[q.head]
 	q.ops[q.head] = flowOp{}
 	q.head++
@@ -33,12 +30,31 @@ func (q *dataQueue) pop() flowOp {
 	return op
 }
 
+// dataQueue is one initiator's FIFO of bulk operations awaiting service at
+// a target NIC. The target's scheduler serves non-empty queues round-robin,
+// modelling RNIC arbitration across queue pairs: concurrent clients share
+// the NIC's processing equally, exactly the behaviour the paper measures
+// ("C_G will be divided equally among the clients", Example 2 / Exp. 1C).
+type dataQueue struct {
+	opFIFO
+	inRing bool
+	// release is invoked after each serviced op (flow-control credit
+	// return at the initiator).
+	release func()
+}
+
 // rrScheduler arbitrates a node's bulk service among per-initiator queues.
+// The operation in service is parked in current/currentQ and completed by
+// the bound onServedFn callback, so dispatching allocates nothing per op.
 type rrScheduler struct {
 	node      *Node
 	ring      []*dataQueue
 	next      int
 	inService bool
+
+	current    flowOp
+	currentQ   *dataQueue
+	onServedFn func()
 }
 
 // newDataQueue creates a queue to be served by this node's scheduler.
@@ -74,22 +90,36 @@ func (s *rrScheduler) pump() {
 		s.next++
 	}
 	s.inService = true
-	k := s.node.fabric.k
-	prop := s.node.fabric.cfg.PropagationDelay
 	if op.span != nil {
-		op.span.Service = k.Now()
+		op.span.Service = s.node.fabric.k.Now()
 	}
-	s.node.nic.SubmitWeighted(op.weight, func() {
-		if op.apply != nil {
-			op.apply()
+	s.current = op
+	s.currentQ = q
+	s.node.nic.SubmitWeighted(op.weight, s.onServedFn)
+}
+
+// onServed completes the operation in service: it applies the memory
+// effect at the target, schedules the completion delivery back to the
+// initiator, returns the flow-control credit, and serves the next op.
+func (s *rrScheduler) onServed() {
+	op := s.current
+	q := s.currentQ
+	s.current = flowOp{}
+	s.currentQ = nil
+	if op.kind == opFunc {
+		if op.applyFn != nil {
+			op.applyFn()
 		}
-		if op.complete != nil {
-			k.Schedule(prop, op.complete)
+		if op.completeFn != nil {
+			f := s.node.fabric
+			f.k.Schedule(f.cfg.PropagationDelay, op.completeFn)
 		}
-		if q.release != nil {
-			q.release()
-		}
-		s.inService = false
-		s.pump()
-	})
+	} else {
+		op.qp.serveOp(op)
+	}
+	if q.release != nil {
+		q.release()
+	}
+	s.inService = false
+	s.pump()
 }

@@ -72,8 +72,8 @@ func TestFlowControlBoundsServerQueue(t *testing.T) {
 	if qp.inFlight != 0 {
 		t.Errorf("inFlight = %d after drain", qp.inFlight)
 	}
-	if len(qp.waiting) != 0 {
-		t.Errorf("waiting = %d after drain", len(qp.waiting))
+	if qp.waiting.size() != 0 {
+		t.Errorf("waiting = %d after drain", qp.waiting.size())
 	}
 }
 

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// The benchmarks drive both engines (timing wheel and the reference
+// binary heap kept in wheel_test.go) with the same self-sustaining event
+// churn, shaped like the simulator's steady state: a few hundred live
+// chains rescheduling themselves at the delay scales the RDMA model
+// uses, with a sprinkle of schedule-then-cancel churn (flow-control
+// timeouts that never fire). ns/op is per executed event, so
+// events-per-second is 1e9 / (ns/op).
+
+// benchDelays matches traceDelays' spread but weights the short end the
+// way the simulator does: most events are sub-100µs hops, a few are
+// period-scale, and a couple land in the overflow horizon.
+var benchDelays = [16]Time{
+	1, 3, 700, 900,
+	Microsecond, 2 * Microsecond, 5 * Microsecond, 17 * Microsecond,
+	40 * Microsecond, 80 * Microsecond, 120 * Microsecond, 300 * Microsecond,
+	Millisecond, 4 * Millisecond, Second / 4, 19 * Second,
+}
+
+// benchFlows is how many self-rescheduling chains stay live at once —
+// the queue's steady-state depth. A default-scale cluster run peaks near
+// 700 pending events; full-scale sweeps run deeper.
+const benchFlows = 1024
+
+// The churn drivers below are intentionally duplicated per engine rather
+// than shared through traceKernel: the adapter's Schedule returns a
+// bound-method closure, which allocates per event and would charge both
+// engines identical overhead the real kernel API does not have. Each
+// engine is driven through its native schedule/cancel path.
+
+func benchRngNext(rng *uint64) uint64 {
+	*rng ^= *rng << 13
+	*rng ^= *rng >> 7
+	*rng ^= *rng << 17
+	return *rng
+}
+
+// wheelChurn executes exactly n events on the timing-wheel kernel.
+// Deterministic: delays come from a fixed xorshift stream, so both
+// engines see the identical program.
+func wheelChurn(k *Kernel, n int) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	executed := 0
+	var fire func()
+	fire = func() {
+		executed++
+		if executed > n {
+			return // let the chain die; Run drains the stragglers
+		}
+		if executed&15 == 0 {
+			t := k.Schedule(benchDelays[benchRngNext(&rng)&15]+1, nop)
+			t.Cancel()
+		}
+		k.Schedule(benchDelays[benchRngNext(&rng)&15], fire)
+	}
+	for i := 0; i < benchFlows; i++ {
+		k.Schedule(benchDelays[benchRngNext(&rng)&15], fire)
+	}
+	k.Run()
+}
+
+// refChurn is wheelChurn against the reference binary heap.
+func refChurn(k *refKernel, n int) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	executed := 0
+	var fire func()
+	fire = func() {
+		executed++
+		if executed > n {
+			return
+		}
+		if executed&15 == 0 {
+			t := k.Schedule(benchDelays[benchRngNext(&rng)&15]+1, nop)
+			t.Cancel()
+		}
+		k.Schedule(benchDelays[benchRngNext(&rng)&15], fire)
+	}
+	for i := 0; i < benchFlows; i++ {
+		k.Schedule(benchDelays[benchRngNext(&rng)&15], fire)
+	}
+	k.Run()
+}
+
+// BenchmarkKernelEvents measures the timing-wheel kernel. This is the
+// figure CI tracks: events/sec = 1e9 / (ns/op).
+func BenchmarkKernelEvents(b *testing.B) {
+	b.ReportAllocs()
+	wheelChurn(New(1), b.N)
+}
+
+// BenchmarkKernelEventsHeapBaseline measures the retired binary heap on
+// the identical churn; the wheel's speedup is this bench's ns/op over
+// BenchmarkKernelEvents'.
+func BenchmarkKernelEventsHeapBaseline(b *testing.B) {
+	b.ReportAllocs()
+	refChurn(newRefKernel(), b.N)
+}
+
+// BenchmarkKernelScheduleCancel isolates the schedule+cancel lifecycle:
+// no callbacks ever fire. Cancelled events are reaped lazily on pop, so
+// the loop periodically runs the kernel past the longest delay to cycle
+// them back through the freelist (that reap cost is part of the figure).
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	k := New(1)
+	for i := 0; i < b.N; i++ {
+		t := k.Schedule(benchDelays[i&15], nop)
+		t.Cancel()
+		if i&1023 == 1023 {
+			k.RunUntil(k.Now() + 20*Second)
+		}
+	}
+}
+
+func nop() {}
+
+// TestWriteKernelBenchJSON is the CI hook behind the BENCH_kernel.json
+// artifact: when BENCH_KERNEL_JSON names a path, it times a fixed-size
+// churn on both engines and writes the events-per-second comparison.
+// Without the env var it skips, so normal `go test` runs are unaffected.
+func TestWriteKernelBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_KERNEL_JSON")
+	if path == "" {
+		t.Skip("set BENCH_KERNEL_JSON=<path> to write the kernel benchmark artifact")
+	}
+	const n = 2_000_000
+	// Warm-up pass so neither engine pays first-run costs in the timed run.
+	wheelChurn(New(1), n/10)
+	refChurn(newRefKernel(), n/10)
+	start := time.Now()
+	wheelChurn(New(1), n)
+	wheel := float64(n) / time.Since(start).Seconds()
+	start = time.Now()
+	refChurn(newRefKernel(), n)
+	heap := float64(n) / time.Since(start).Seconds()
+	out := struct {
+		Events            int     `json:"events"`
+		WheelEventsPerSec float64 `json:"wheel_events_per_sec"`
+		HeapEventsPerSec  float64 `json:"heap_events_per_sec"`
+		Speedup           float64 `json:"speedup"`
+	}{n, wheel, heap, wheel / heap}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wheel %.2fM ev/s, heap %.2fM ev/s, speedup %.2fx", wheel/1e6, heap/1e6, out.Speedup)
+}

@@ -6,6 +6,12 @@
 // runs reproducible and decoupled from wall-clock time. The kernel is
 // single-threaded by design: every event handler runs to completion before
 // the next event fires, so components need no internal locking.
+//
+// The event queue is a hierarchical timing wheel with an intrusive event
+// freelist (see wheel.go and DESIGN.md §8): pushes and pops are O(1) in
+// the common case and Schedule/At/Cancel are allocation-free in steady
+// state, while the delivery order remains exactly the (at, seq) total
+// order of the original binary heap.
 package sim
 
 import (
@@ -55,37 +61,51 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // event is a scheduled callback. Events are ordered by time, with the
 // scheduling sequence number breaking ties so that events scheduled earlier
 // for the same instant run first (deterministic FIFO semantics).
+//
+// Events are pooled: after firing (or after a cancelled event is reaped)
+// the event returns to the kernel's freelist and gen is bumped, which
+// invalidates every Timer handle still referring to it. next links the
+// event into a wheel slot or the freelist.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	next     *event
+	gen      uint32
 	canceled bool
 }
 
-// Timer is a handle to a scheduled event that can be canceled.
+// Timer is a handle to a scheduled event that can be canceled. It is a
+// value: the zero Timer is valid and inert, and a handle outlives its
+// event — once the event has fired and been recycled (and possibly reused
+// for a later scheduling) the generation check makes the old handle a
+// no-op, so holding a Timer past its firing is always safe.
 type Timer struct {
-	k  *Kernel
-	ev *event
+	k   *Kernel
+	ev  *event
+	gen uint32
 }
 
 // Cancel prevents the timer's callback from running. Canceling an already
 // fired or canceled timer is a no-op. Cancel reports whether the callback
 // was prevented from running.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.gen != t.ev.gen || t.ev.canceled || t.ev.fn == nil {
 		return false
 	}
 	t.ev.canceled = true
 	t.ev.fn = nil // release the closure
 	if t.k != nil {
 		t.k.cancelled++
+		t.k.live--
 	}
 	return true
 }
 
-// At reports the virtual time the timer is scheduled for.
-func (t *Timer) At() Time {
-	if t == nil || t.ev == nil {
+// At reports the virtual time the timer is scheduled for; zero once the
+// timer has fired and its event has been recycled.
+func (t Timer) At() Time {
+	if t.ev == nil || t.gen != t.ev.gen {
 		return 0
 	}
 	return t.ev.at
@@ -95,10 +115,13 @@ func (t *Timer) At() Time {
 // usable; construct one with New.
 type Kernel struct {
 	now     Time
-	heap    []*event
+	q       timerWheel
 	seq     uint64
 	stopped bool
 	rng     *rand.Rand
+	// live counts scheduled events that have neither fired nor been
+	// cancelled; it backs Pending.
+	live int
 	// executed counts events that have fired, for diagnostics.
 	executed uint64
 	// cancelled counts timers cancelled before firing, for diagnostics.
@@ -125,13 +148,13 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // Cancelled returns the number of timers cancelled before firing.
 func (k *Kernel) Cancelled() uint64 { return k.cancelled }
 
-// Pending returns the number of events still queued (including canceled
-// events that have not yet been reaped).
-func (k *Kernel) Pending() int { return len(k.heap) }
+// Pending returns the number of events still scheduled to fire. Cancelled
+// events awaiting reaping are not counted.
+func (k *Kernel) Pending() int { return k.live }
 
 // Schedule runs fn after delay d (>= 0). A negative delay is treated as
 // zero. It returns a Timer that can cancel the callback.
-func (k *Kernel) Schedule(d Time, fn func()) *Timer {
+func (k *Kernel) Schedule(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -140,14 +163,18 @@ func (k *Kernel) Schedule(d Time, fn func()) *Timer {
 
 // At runs fn at absolute virtual time t. If t is in the past it runs at the
 // current time (after already queued events for that instant).
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if t < k.now {
 		t = k.now
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
+	ev := k.q.alloc()
+	ev.at = t
+	ev.seq = k.seq
+	ev.fn = fn
 	k.seq++
-	k.push(ev)
-	return &Timer{k: k, ev: ev}
+	k.q.push(ev)
+	k.live++
+	return Timer{k: k, ev: ev, gen: ev.gen}
 }
 
 // Ticker repeatedly invokes a callback at a fixed interval until stopped.
@@ -155,7 +182,7 @@ type Ticker struct {
 	k        *Kernel
 	interval Time
 	fn       func()
-	timer    *Timer
+	timer    Timer
 	stopped  bool
 }
 
@@ -193,18 +220,23 @@ func (t *Ticker) Stop() {
 // the kernel has been stopped.
 func (k *Kernel) Step() bool {
 	for {
-		if k.stopped || len(k.heap) == 0 {
+		if k.stopped {
 			return false
 		}
-		ev := k.pop()
+		ev := k.q.popMin()
+		if ev == nil {
+			return false
+		}
 		if ev.canceled {
+			k.q.recycle(ev)
 			continue
 		}
 		if ev.at > k.now {
 			k.now = ev.at
 		}
 		fn := ev.fn
-		ev.fn = nil
+		k.q.recycle(ev)
+		k.live--
 		k.executed++
 		fn()
 		return true
@@ -242,62 +274,15 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 // peek returns the earliest non-canceled event without firing it, reaping
 // canceled events along the way.
 func (k *Kernel) peek() *event {
-	for len(k.heap) > 0 {
-		if k.heap[0].canceled {
-			k.pop()
-			continue
-		}
-		return k.heap[0]
-	}
-	return nil
-}
-
-// heap operations: a hand-rolled binary min-heap keyed on (at, seq). A
-// manual implementation avoids the interface dispatch of container/heap on
-// the hottest path in the simulator.
-
-func (ev *event) less(other *event) bool {
-	if ev.at != other.at {
-		return ev.at < other.at
-	}
-	return ev.seq < other.seq
-}
-
-func (k *Kernel) push(ev *event) {
-	k.heap = append(k.heap, ev)
-	i := len(k.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !k.heap[i].less(k.heap[parent]) {
-			break
-		}
-		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
-		i = parent
-	}
-}
-
-func (k *Kernel) pop() *event {
-	n := len(k.heap)
-	top := k.heap[0]
-	k.heap[0] = k.heap[n-1]
-	k.heap[n-1] = nil
-	k.heap = k.heap[:n-1]
-	n--
-	i := 0
 	for {
-		left := 2*i + 1
-		if left >= n {
-			break
+		ev := k.q.min()
+		if ev == nil {
+			return nil
 		}
-		smallest := left
-		if right := left + 1; right < n && k.heap[right].less(k.heap[left]) {
-			smallest = right
+		if !ev.canceled {
+			return ev
 		}
-		if !k.heap[smallest].less(k.heap[i]) {
-			break
-		}
-		k.heap[i], k.heap[smallest] = k.heap[smallest], k.heap[i]
-		i = smallest
+		k.q.popMin()
+		k.q.recycle(ev)
 	}
-	return top
 }

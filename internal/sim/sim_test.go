@@ -150,12 +150,12 @@ func TestTimerAt(t *testing.T) {
 	if tm.At() != 25 {
 		t.Errorf("Timer.At() = %v, want 25", tm.At())
 	}
-	var nilTimer *Timer
-	if nilTimer.At() != 0 {
-		t.Error("nil Timer.At() != 0")
+	var zero Timer
+	if zero.At() != 0 {
+		t.Error("zero Timer.At() != 0")
 	}
-	if nilTimer.Cancel() {
-		t.Error("nil Timer.Cancel() returned true")
+	if zero.Cancel() {
+		t.Error("zero Timer.Cancel() returned true")
 	}
 }
 
@@ -322,7 +322,7 @@ func TestHeapRandomCancel(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		k := New(int64(trial))
 		n := 200
-		timers := make([]*Timer, n)
+		timers := make([]Timer, n)
 		firedCount := make([]int, n)
 		for i := 0; i < n; i++ {
 			i := i

@@ -11,6 +11,14 @@ import "fmt"
 // a submission arriving at time a is max(a, busyUntil) + serviceTime, which
 // is exactly FIFO single-server semantics with O(1) state and a single
 // kernel event per operation.
+//
+// Completion callbacks are not captured in per-operation closures.
+// Within each class (bulk, priority) completions happen in submission
+// order — the class's busy horizon is monotone and the kernel breaks
+// same-instant ties by scheduling order — so each class keeps a FIFO of
+// pending done callbacks and schedules one pre-bound method per
+// completion. Submitting an operation therefore allocates nothing beyond
+// the kernel's pooled event.
 type Station struct {
 	k *Kernel
 	// service is the mean service time per operation.
@@ -28,6 +36,15 @@ type Station struct {
 	served uint64
 	// name identifies the station in diagnostics.
 	name string
+
+	// bulkDone and prioDone hold the done callbacks of in-flight
+	// operations, one FIFO per completion class; completeBulk and
+	// completePrio are the corresponding bound completion methods,
+	// created once at construction.
+	bulkDone     callbackFIFO
+	prioDone     callbackFIFO
+	completeBulk func()
+	completePrio func()
 }
 
 // NewStation creates a station served at rate opsPerSec with the given
@@ -39,12 +56,15 @@ func NewStation(k *Kernel, name string, opsPerSec float64, jitter float64) (*Sta
 	if jitter < 0 || jitter >= 1 {
 		return nil, fmt.Errorf("sim: station %q: jitter must be in [0,1), got %v", name, jitter)
 	}
-	return &Station{
+	s := &Station{
 		k:       k,
 		name:    name,
 		service: Time(float64(Second) / opsPerSec),
 		jitter:  jitter,
-	}, nil
+	}
+	s.completeBulk = s.onBulkComplete
+	s.completePrio = s.onPrioComplete
+	return s, nil
 }
 
 // Name returns the station's diagnostic name.
@@ -109,12 +129,8 @@ func (s *Station) SubmitPriority(weight float64, done func()) Time {
 	}
 	completion := start + svc
 	s.prioBusyUntil = completion
-	s.k.At(completion, func() {
-		s.served++
-		if done != nil {
-			done()
-		}
-	})
+	s.prioDone.push(done)
+	s.k.At(completion, s.completePrio)
 	return completion
 }
 
@@ -136,11 +152,48 @@ func (s *Station) SubmitWeighted(weight float64, done func()) Time {
 	}
 	completion := start + svc
 	s.busyUntil = completion
-	s.k.At(completion, func() {
-		s.served++
-		if done != nil {
-			done()
-		}
-	})
+	s.bulkDone.push(done)
+	s.k.At(completion, s.completeBulk)
 	return completion
+}
+
+func (s *Station) onBulkComplete() {
+	done := s.bulkDone.pop()
+	s.served++
+	if done != nil {
+		done()
+	}
+}
+
+func (s *Station) onPrioComplete() {
+	done := s.prioDone.pop()
+	s.served++
+	if done != nil {
+		done()
+	}
+}
+
+// callbackFIFO is a queue of completion callbacks backed by a reusable
+// slice; pop compacts lazily so steady-state traffic stops allocating
+// once the buffer has grown to the high-water mark.
+type callbackFIFO struct {
+	fns  []func()
+	head int
+}
+
+func (q *callbackFIFO) push(fn func()) { q.fns = append(q.fns, fn) }
+
+func (q *callbackFIFO) pop() func() {
+	fn := q.fns[q.head]
+	q.fns[q.head] = nil
+	q.head++
+	if q.head >= len(q.fns) {
+		q.fns = q.fns[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.fns) {
+		n := copy(q.fns, q.fns[q.head:])
+		q.fns = q.fns[:n]
+		q.head = 0
+	}
+	return fn
 }

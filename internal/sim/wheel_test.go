@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refKernel is the pre-timing-wheel event queue: a plain binary min-heap
+// keyed on (at, seq). It is kept verbatim as the reference model for the
+// differential tests below and as the baseline for the kernel benchmarks:
+// the timing wheel must deliver events in exactly this order.
+type refKernel struct {
+	now     Time
+	heap    []*refEvent
+	seq     uint64
+	stopped bool
+}
+
+type refEvent struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+type refTimer struct {
+	k  *refKernel
+	ev *refEvent
+}
+
+func (t *refTimer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+		return false
+	}
+	t.ev.canceled = true
+	t.ev.fn = nil
+	return true
+}
+
+func newRefKernel() *refKernel { return &refKernel{} }
+
+func (k *refKernel) Now() Time { return k.now }
+
+func (k *refKernel) Schedule(d Time, fn func()) *refTimer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+func (k *refKernel) At(t Time, fn func()) *refTimer {
+	if t < k.now {
+		t = k.now
+	}
+	ev := &refEvent{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	k.push(ev)
+	return &refTimer{k: k, ev: ev}
+}
+
+func (k *refKernel) Step() bool {
+	for {
+		if k.stopped || len(k.heap) == 0 {
+			return false
+		}
+		ev := k.pop()
+		if ev.canceled {
+			continue
+		}
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+}
+
+func (k *refKernel) Run() {
+	for k.Step() {
+	}
+}
+
+func (k *refKernel) RunUntil(t Time) {
+	for !k.stopped {
+		ev := k.peekEv()
+		if ev == nil || ev.at > t {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+func (k *refKernel) peekEv() *refEvent {
+	for len(k.heap) > 0 {
+		if k.heap[0].canceled {
+			k.pop()
+			continue
+		}
+		return k.heap[0]
+	}
+	return nil
+}
+
+func (ev *refEvent) less(other *refEvent) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
+	}
+	return ev.seq < other.seq
+}
+
+func (k *refKernel) push(ev *refEvent) {
+	k.heap = append(k.heap, ev)
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.heap[i].less(k.heap[parent]) {
+			break
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+func (k *refKernel) pop() *refEvent {
+	n := len(k.heap)
+	top := k.heap[0]
+	k.heap[0] = k.heap[n-1]
+	k.heap[n-1] = nil
+	k.heap = k.heap[:n-1]
+	n--
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && k.heap[right].less(k.heap[left]) {
+			smallest = right
+		}
+		if !k.heap[smallest].less(k.heap[i]) {
+			break
+		}
+		k.heap[i], k.heap[smallest] = k.heap[smallest], k.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+// traceKernel abstracts the two engines so one randomized program can
+// drive both.
+type traceKernel interface {
+	Now() Time
+	Schedule(d Time, fn func()) func() bool // returns the timer's Cancel
+	RunUntil(t Time)
+	Run()
+}
+
+type wheelAdapter struct{ k *Kernel }
+
+func (a wheelAdapter) Now() Time { return a.k.Now() }
+func (a wheelAdapter) Schedule(d Time, fn func()) func() bool {
+	t := a.k.Schedule(d, fn)
+	return t.Cancel
+}
+func (a wheelAdapter) RunUntil(t Time) { a.k.RunUntil(t) }
+func (a wheelAdapter) Run()            { a.k.Run() }
+
+type refAdapter struct{ k *refKernel }
+
+func (a refAdapter) Now() Time { return a.k.Now() }
+func (a refAdapter) Schedule(d Time, fn func()) func() bool {
+	t := a.k.Schedule(d, fn)
+	return t.Cancel
+}
+func (a refAdapter) RunUntil(t Time) { a.k.RunUntil(t) }
+func (a refAdapter) Run()            { a.k.Run() }
+
+type fireRec struct {
+	id int
+	at Time
+}
+
+// traceDelays mixes the time scales the simulator actually uses: control
+// ops (sub-µs), propagation (µs), service times (tens of µs), periods
+// (ms), and far-future horizons that exercise the overflow heap.
+var traceDelays = []Time{
+	0, 1, 3, 700,
+	Microsecond, 2 * Microsecond, 17 * Microsecond,
+	Millisecond / 2, Millisecond, 7 * Millisecond,
+	Second / 4, Second, 19 * Second, 120 * Second,
+}
+
+// runTrace executes one randomized schedule/cancel/run-until program
+// against k and returns the fired (id, time) log. The same seed always
+// produces the same program, so the log from the wheel kernel and from
+// the reference heap must match exactly.
+func runTrace(k traceKernel, seed int64) []fireRec {
+	rng := rand.New(rand.NewSource(seed))
+	var log []fireRec
+	var cancels []func() bool
+	nextID := 0
+
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		id := nextID
+		nextID++
+		d := traceDelays[rng.Intn(len(traceDelays))]
+		if rng.Intn(4) == 0 {
+			d += Time(rng.Intn(5000))
+		}
+		cancels = append(cancels, k.Schedule(d, func() {
+			log = append(log, fireRec{id: id, at: k.Now()})
+			if depth < 4 {
+				for n := rng.Intn(3); n > 0; n-- {
+					schedule(depth + 1)
+				}
+			}
+			if len(cancels) > 0 && rng.Intn(3) == 0 {
+				cancels[rng.Intn(len(cancels))]()
+			}
+		}))
+	}
+
+	for phase := 0; phase < 4; phase++ {
+		for i := 0; i < 40; i++ {
+			schedule(0)
+		}
+		for i := 0; i < 5; i++ {
+			cancels[rng.Intn(len(cancels))]()
+		}
+		k.RunUntil(k.Now() + traceDelays[rng.Intn(len(traceDelays))])
+	}
+	k.Run()
+	return log
+}
+
+// TestWheelMatchesReferenceHeap replays randomized traces on the timing
+// wheel and on the old binary heap and requires identical delivery.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	for seed := int64(1); seed <= 300; seed++ {
+		got := runTrace(wheelAdapter{New(seed)}, seed)
+		want := runTrace(refAdapter{newRefKernel()}, seed)
+		if err := compareTraces(got, want); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func compareTraces(got, want []fireRec) error {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return fmt.Errorf("fire %d: wheel got id=%d at=%v, heap expected id=%d at=%v",
+				i, got[i].id, got[i].at, want[i].id, want[i].at)
+		}
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("wheel fired %d events, heap fired %d", len(got), len(want))
+	}
+	return nil
+}

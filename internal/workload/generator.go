@@ -252,7 +252,7 @@ func (Poisson) newDriver(g *Generator) driver {
 
 type poissonDriver struct {
 	g       *Generator
-	timer   *sim.Timer
+	timer   sim.Timer
 	rate    float64 // arrivals per nanosecond
 	stopped bool
 }
@@ -285,8 +285,6 @@ func (d *poissonDriver) onCompletion() {}
 
 func (d *poissonDriver) stop() {
 	d.stopped = true
-	if d.timer != nil {
-		d.timer.Cancel()
-		d.timer = nil
-	}
+	d.timer.Cancel()
+	d.timer = sim.Timer{}
 }
