@@ -24,11 +24,14 @@ import (
 )
 
 // Map runs job(0) … job(n-1) on a bounded pool of workers and returns
-// the results ordered by input index. If any job returns an error, Map
+// the results ordered by input index. Every job runs exactly once even
+// if an earlier one fails — so side effects, like the results, are
+// identical at every worker count. If any job returns an error, Map
 // returns the error of the lowest-indexed failing job (alongside the
-// full result slice; slots whose job failed hold the zero value).
-// Workers <= 0 selects runtime.GOMAXPROCS(0). Jobs must be independent:
-// they run concurrently and must not share mutable state.
+// full result slice; a failed job's slot holds whatever value the job
+// returned next to its error). Workers <= 0 selects
+// runtime.GOMAXPROCS(0). Jobs must be independent: they run
+// concurrently and must not share mutable state.
 func Map[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -41,15 +44,17 @@ func Map[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 	}
 	out := make([]T, n)
 	if workers == 1 {
-		// Sequential fast path: identical semantics, no goroutines.
+		// Sequential fast path: no goroutines, same run-everything
+		// semantics as the pool below.
+		var firstErr error
 		for i := 0; i < n; i++ {
-			v, err := job(i)
-			if err != nil {
-				return out, err
+			var err error
+			out[i], err = job(i)
+			if err != nil && firstErr == nil {
+				firstErr = err
 			}
-			out[i] = v
 		}
-		return out, nil
+		return out, firstErr
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup

@@ -42,6 +42,41 @@ func TestMapReturnsLowestIndexedError(t *testing.T) {
 	}
 }
 
+// TestMapFailureStillRunsEveryJob pins the run-everything contract:
+// a failing job must not change which other jobs execute, at any worker
+// count, so side effects (observer hooks, partial results) are identical
+// whether the sweep runs sequentially or on a pool.
+func TestMapFailureStillRunsEveryJob(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4, 16} {
+		var calls [32]int32
+		out, err := Map(workers, 32, func(i int) (int, error) {
+			atomic.AddInt32(&calls[i], 1)
+			if i == 3 {
+				return 0, boom
+			}
+			return i + 1, nil
+		})
+		if err != boom {
+			t.Fatalf("workers=%d: got err %v, want boom", workers, err)
+		}
+		for i, c := range calls {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+		for i, v := range out {
+			want := i + 1
+			if i == 3 {
+				want = 0
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
 func TestMapEmpty(t *testing.T) {
 	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
 	if err != nil || got != nil {

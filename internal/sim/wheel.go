@@ -28,6 +28,10 @@ import "math/bits"
 //   - every event in one slot shares one quotient: two quotients in the
 //     open window (q_l(cur), q_l(cur)+64) that are congruent mod 64 are
 //     equal.
+//   - the overflow heap only holds events beyond the top level's horizon
+//     of cur: advance() re-files everything a cursor move brings under
+//     the horizon before draining slots, so whenever the near heap is
+//     non-empty its minimum is the global minimum.
 //
 // Events are recycled through an intrusive freelist (the same next link
 // used by slot chains), so steady-state Schedule/At/Cancel allocate
@@ -129,10 +133,12 @@ func (w *timerWheel) popMin() *event {
 }
 
 // advance moves the cursor to the next populated instant — the earliest
-// slot start across the levels, or the overflow minimum if it is not
-// later — and drains the slots at the cursor's new indices downward, so
-// the near heap gains the events due first. Each call either fills the
-// near heap or moves events strictly closer to it, so min() terminates.
+// slot start across the levels, or the overflow minimum if it is
+// earlier — re-files every overflow event the move brought under the
+// wheel horizon, and drains the slots at the cursor's new indices
+// downward, so the near heap gains the events due first. Each call
+// either fills the near heap or moves events strictly closer to it, so
+// min() terminates.
 func (w *timerWheel) advance() {
 	best := Time(1<<63 - 1)
 	bestFound := false
@@ -148,22 +154,27 @@ func (w *timerWheel) advance() {
 			bestFound = true
 		}
 	}
-	if len(w.overflow) > 0 && (!bestFound || w.overflow[0].at <= best) {
-		// The overflow minimum is due no later than any wheel slot:
-		// jump the cursor there and re-file every overflow event that
-		// now fits under the wheel horizon.
-		if w.overflow[0].at > w.cur {
-			w.cur = w.overflow[0].at
-		}
-		shift := wheelShift(wheelLevels - 1)
-		for len(w.overflow) > 0 &&
-			uint64(w.overflow[0].at)>>shift-uint64(w.cur)>>shift < wheelSlots {
-			w.route(heapPop(&w.overflow))
-		}
-	} else if bestFound {
-		w.cur = best
-	} else {
+	if len(w.overflow) > 0 && (!bestFound || w.overflow[0].at < best) {
+		best = w.overflow[0].at
+		bestFound = true
+	}
+	if !bestFound {
 		return
+	}
+	if best > w.cur {
+		w.cur = best
+	}
+	// Re-file every overflow event that now fits under the wheel
+	// horizon. This must happen on every cursor move, not only when the
+	// overflow minimum leads the wheel: an overflow event whose time
+	// falls inside the span of the slot about to be drained (past the
+	// slot's start) would otherwise sit unconsulted in the overflow heap
+	// while later events from that slot drain into the near heap and
+	// fire ahead of it.
+	shift := wheelShift(wheelLevels - 1)
+	for len(w.overflow) > 0 &&
+		uint64(w.overflow[0].at)>>shift-uint64(w.cur)>>shift < wheelSlots {
+		w.route(heapPop(&w.overflow))
 	}
 	w.drainCursorSlots()
 }

@@ -207,6 +207,23 @@ func runTrace(k traceKernel, seed int64) []fireRec {
 	var cancels []func() bool
 	nextID := 0
 
+	// A dense 1 s tick chain spanning ~40 s keeps wheel slots occupied
+	// all the way across the ~17 s overflow horizon, so the far-future
+	// events scheduled below (19 s, 120 s delays) still coexist with
+	// occupied slots when the cursor reaches them — the interaction
+	// between the overflow heap and a populated slot is exercised on
+	// every seed, not just when the wheel happens to drain empty first.
+	ticks := 0
+	var tick func()
+	tick = func() {
+		log = append(log, fireRec{id: -1 - ticks, at: k.Now()})
+		if ticks < 40 {
+			ticks++
+			k.Schedule(Second, tick)
+		}
+	}
+	k.Schedule(Second, tick)
+
 	var schedule func(depth int)
 	schedule = func(depth int) {
 		id := nextID
@@ -250,6 +267,53 @@ func TestWheelMatchesReferenceHeap(t *testing.T) {
 		if err := compareTraces(got, want); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// overflowSlotTrace pins the interleaving the randomized programs
+// almost never produced: an event parked in the overflow heap whose
+// time falls *inside* the span of an occupied wheel slot — past the
+// slot's start — when the cursor reaches it. A self-rescheduling 1 s
+// tick keeps the wheel continuously occupied across the ~17 s horizon;
+// once the far-future instant is within a second, a second event is
+// landed 300 ns after the overflow event, in the same level-0 bucket.
+// Draining that bucket's slot must not let the later event overtake the
+// overflow event.
+func overflowSlotTrace(k traceKernel) []fireRec {
+	const base = Time(1) << 35 // ~34 s: well past the wheel horizon, slot-aligned at every level
+	var log []fireRec
+	k.Schedule(base+100, func() { log = append(log, fireRec{id: 1, at: k.Now()}) })
+	var tick func()
+	tick = func() {
+		log = append(log, fireRec{id: 0, at: k.Now()})
+		if k.Now()+Second < base {
+			k.Schedule(Second, tick)
+			return
+		}
+		k.Schedule(base+400-k.Now(), func() { log = append(log, fireRec{id: 2, at: k.Now()}) })
+	}
+	k.Schedule(Second, tick)
+	k.Run()
+	return log
+}
+
+// TestWheelOverflowInsideOccupiedSlot is the regression test for the
+// overflow-vs-occupied-slot ordering bug: advance() must consult the
+// overflow heap on every cursor move, not only when the overflow
+// minimum is at or before the earliest occupied slot's start.
+func TestWheelOverflowInsideOccupiedSlot(t *testing.T) {
+	got := overflowSlotTrace(wheelAdapter{New(1)})
+	want := overflowSlotTrace(refAdapter{newRefKernel()})
+	if err := compareTraces(got, want); err != nil {
+		t.Fatal(err)
+	}
+	// Belt and braces, independent of the reference engine: the overflow
+	// event (id 1, base+100) must fire before the wheel event (id 2,
+	// base+400).
+	const base = Time(1) << 35
+	n := len(got)
+	if n < 2 || got[n-2] != (fireRec{id: 1, at: base + 100}) || got[n-1] != (fireRec{id: 2, at: base + 400}) {
+		t.Fatalf("overflow event overtaken: trace tail %v", got[max(0, n-3):])
 	}
 }
 
