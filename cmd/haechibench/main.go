@@ -46,6 +46,8 @@ func run(args []string) int {
 		records    = fs.Int("records", 0, "records populated in the KV store (default 4096)")
 		seed       = fs.Int64("seed", 0, "random seed (default 42)")
 		par        = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent cluster runs per experiment sweep (output is identical at any value)")
+		shards     = fs.Int("shards", 0, "partition each cluster onto this many shard kernels (0/1 = single kernel; changes output like -scale does)")
+		shardWork  = fs.Int("shard-workers", 0, "worker pool driving the shard kernels (0 = GOMAXPROCS; output is identical at any value)")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
 		traceOut   = fs.String("trace", "", "write per-I/O spans as Chrome trace_event JSON (open in Perfetto); multi-run experiments get -NN suffixes")
 		traceSpans = fs.Int("trace-spans", 10000, "span ring capacity for -trace (histograms always cover every span)")
@@ -83,6 +85,8 @@ func run(args []string) int {
 		opts.Seed = *seed
 	}
 	opts.Parallel = *par
+	opts.Shards = *shards
+	opts.ShardWorkers = *shardWork
 
 	exp := &exporter{traceOut: *traceOut, metricsOut: *metricsOut}
 	if *traceOut != "" || *metricsOut != "" {
@@ -91,6 +95,11 @@ func run(args []string) int {
 		if opts.Parallel > 1 {
 			fmt.Fprintln(os.Stderr, "haechibench: -trace/-metrics force -parallel 1 (artifact order)")
 			opts.Parallel = 1
+		}
+		if opts.Shards > 1 && opts.ShardWorkers != 1 {
+			// cluster.New applies the same clamp; say so up front.
+			fmt.Fprintln(os.Stderr, "haechibench: -trace/-metrics force -shard-workers 1 (recorders read cross-shard state)")
+			opts.ShardWorkers = 1
 		}
 		ob := &cluster.Observe{OnResults: exp.capture}
 		if *traceOut != "" {

@@ -148,10 +148,14 @@ func TestScopeFlag(t *testing.T) {
 		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
 	}
 	out := stdout.String()
-	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 5 {
-		t.Errorf("want 5 scope lines, got %d:\n%s", got, out)
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 6 {
+		t.Errorf("want 6 scope lines, got %d:\n%s", got, out)
 	}
 	want := "noconcurrency   all packages; exclude internal/parallel, cmd/haechibench"
+	if !strings.Contains(out, want) {
+		t.Errorf("scope output missing %q:\n%s", want, out)
+	}
+	want = "parallelimport  all packages; exclude internal/experiments, internal/cluster, internal/sim/shard"
 	if !strings.Contains(out, want) {
 		t.Errorf("scope output missing %q:\n%s", want, out)
 	}

@@ -29,6 +29,8 @@ func run(args []string) int {
 		seed    = fs.Int64("seed", 1, "random seed")
 		shards  = fs.Int("shards", 1, "independent profiling runs splitting the periods (seeds seed..seed+shards-1; part of the result)")
 		par     = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent kernels for sharded profiling (never changes the result)")
+		clShard = fs.Int("cluster-shards", 0, "shard kernels inside each profiled cluster (0/1 = single kernel; part of the result, unlike -shard-workers)")
+		clWork  = fs.Int("shard-workers", 0, "worker pool driving the cluster shard kernels (0 = GOMAXPROCS; never changes the result)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -39,6 +41,8 @@ func run(args []string) int {
 	cfg.Seed = *seed
 	cfg.Store = kvstore.Options{Capacity: 1 << 12, RecordSize: 4096}
 	cfg.Records = 1 << 11
+	cfg.Shards = *clShard
+	cfg.ShardWorkers = *clWork
 
 	prof, err := cluster.ProfileCapacitySharded(cfg, *clients, *periods, *shards, *par)
 	if err != nil {

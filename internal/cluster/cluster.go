@@ -3,12 +3,14 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"github.com/haechi-qos/haechi/internal/core"
 	"github.com/haechi-qos/haechi/internal/kvstore"
 	"github.com/haechi-qos/haechi/internal/metrics"
 	"github.com/haechi-qos/haechi/internal/rdma"
 	"github.com/haechi-qos/haechi/internal/sim"
+	"github.com/haechi-qos/haechi/internal/sim/shard"
 	"github.com/haechi-qos/haechi/internal/trace"
 	"github.com/haechi-qos/haechi/internal/workload"
 )
@@ -42,6 +44,12 @@ type Cluster struct {
 	monitor *core.Monitor // nil in Bare mode
 	clients []*Client
 
+	// Sharded mode (Config.Shards > 1): kernels[s] drives shard s
+	// (kernels[0] == kernel) and group is the quantum coordinator.
+	// Both nil on the classic single-kernel path.
+	kernels []*sim.Kernel
+	group   *shard.Group
+
 	bareTicker  *sim.Ticker
 	barePeriod  int
 	bgJobs      map[string]*rdma.BackgroundJob
@@ -68,6 +76,48 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	var kernels []*sim.Kernel
+	var group *shard.Group
+	if shards := cfg.Shards; shards > 1 {
+		// Every shard needs at least one node: shard 0 is the data node's,
+		// the rest split the clients round-robin.
+		if shards > len(specs)+1 {
+			shards = len(specs) + 1
+		}
+		kernels = make([]*sim.Kernel, shards)
+		kernels[0] = k
+		for s := 1; s < shards; s++ {
+			// Distinct deterministic per-shard seeds; shard 0 keeps the
+			// config seed so its RNG stream matches the unsharded kernel's.
+			kernels[s] = sim.New(cfg.Seed + int64(s)*1_000_003)
+		}
+		workers := cfg.ShardWorkers
+		if ob := cfg.Observe; ob != nil && (ob.FlightSpans > 0 || ob.MetricsInterval > 0) {
+			// The flight recorder and the metric gauges read state owned
+			// by other shards; sequential quanta keep that deterministic.
+			// (A bare OnResults hook runs after the simulation and does
+			// not constrain the workers.)
+			workers = 1
+		}
+		group, err = shard.New(kernels, cfg.Fabric.PropagationDelay, workers)
+		if err != nil {
+			return nil, err
+		}
+		var clientSeq int
+		assign := func(name string, kind rdma.NodeKind) int {
+			// Background initiators ("bg/…") inject at the data node's
+			// scheduler directly and must share its kernel.
+			if kind == rdma.ServerNode || strings.HasPrefix(name, "bg/") {
+				return 0
+			}
+			s := 1 + clientSeq%(shards-1)
+			clientSeq++
+			return s
+		}
+		if err := fabric.EnableSharding(kernels, assign, group.Post); err != nil {
+			return nil, err
+		}
+	}
 	server, err := fabric.AddServer("datanode")
 	if err != nil {
 		return nil, err
@@ -85,12 +135,14 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		cfg:    cfg,
-		kernel: k,
-		fabric: fabric,
-		server: server,
-		store:  store,
-		bgJobs: make(map[string]*rdma.BackgroundJob),
+		cfg:     cfg,
+		kernel:  k,
+		fabric:  fabric,
+		server:  server,
+		store:   store,
+		bgJobs:  make(map[string]*rdma.BackgroundJob),
+		kernels: kernels,
+		group:   group,
 	}
 
 	if cfg.Mode != Bare {
@@ -216,7 +268,9 @@ func (c *Cluster) addClient(i int, spec ClientSpec) error {
 		submit = engine.Request
 	}
 
-	gen, err := workload.NewGenerator(c.kernel, c.cfg.Seed+int64(i)*7919, rt.Spec.Keys, rt.Spec.Pattern, c.cfg.Params.Period, submit)
+	// The generator lives on the client's own kernel so sharded runs keep
+	// each tenant's RNG stream and period events on its shard.
+	gen, err := workload.NewGenerator(node.Kernel(), c.cfg.Seed+int64(i)*7919, rt.Spec.Keys, rt.Spec.Pattern, c.cfg.Params.Period, submit)
 	if err != nil {
 		return err
 	}
@@ -242,7 +296,7 @@ func (c *Cluster) harvest(rt *Client, period int) {
 		return
 	}
 	done := rt.Gen.TakePeriodCompleted()
-	rt.Timeline.Add(c.kernel.Now(), float64(done))
+	rt.Timeline.Add(rt.Node.Kernel().Now(), float64(done))
 	if rt.measuring {
 		if rt.skipNext {
 			rt.skipNext = false
@@ -290,6 +344,9 @@ func (c *Cluster) AddBackgroundJob(name string, window int) (*rdma.BackgroundJob
 }
 
 // At schedules fn at absolute virtual time t (e.g. congestion onset).
+// In a sharded run this is shard 0's kernel — correct for the usual
+// experiment events (background-job start/stop touches the data node's
+// shard only); fn must not mutate client-shard state.
 func (c *Cluster) At(t sim.Time, fn func()) { c.kernel.At(t, fn) }
 
 // FlightRecorder returns the per-I/O span recorder, nil unless enabled

@@ -108,6 +108,28 @@ type Config struct {
 	// Observe enables the observability layer (flight-recorder spans
 	// and metrics sampling); nil disables it. See Observe.
 	Observe *Observe
+
+	// Shards partitions the cluster onto per-shard simulation kernels
+	// that advance concurrently under the conservative quantum protocol
+	// (internal/sim/shard): the data node (with the monitor, store and
+	// background jobs) on shard 0, clients round-robin across the rest.
+	// 0 or 1 runs the classic single-kernel path. Like the profiling
+	// shard count, Shards is part of the experiment definition: a
+	// sharded run is deterministic and replayable but NOT byte-identical
+	// to the unsharded run (cross-shard completions interleave by wire
+	// arrival instead of a shared kernel's global tie order, and
+	// flow-control credits return one propagation later — see DESIGN.md
+	// §9). Clamped to the number of clients + 1.
+	Shards int
+	// ShardWorkers is the size of the worker pool driving the shards.
+	// Pure concurrency: any value produces byte-identical Results
+	// (pinned by TestShardedKernelByteIdentical). <= 0 selects
+	// GOMAXPROCS. Forced to 1 when Observe enables span recording or
+	// metrics sampling — the flight recorder and metric gauges read
+	// cross-shard state, which is only safe (and deterministic) when
+	// quanta execute sequentially. A bare OnResults hook does not
+	// constrain the workers.
+	ShardWorkers int
 }
 
 // NewDefaultConfig returns a full-scale Haechi testbed configuration.
@@ -171,6 +193,9 @@ func (c Config) ApplyScale() (Config, error) {
 	}
 	if c.TwoSided && c.Mode != Bare {
 		return c, fmt.Errorf("cluster: QoS modes require one-sided I/O (Haechi's premise); TwoSided is bare-only")
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("cluster: Shards must be >= 0, got %d", c.Shards)
 	}
 	if err := c.Fabric.Validate(); err != nil {
 		return c, err

@@ -72,16 +72,30 @@ func (c *Cluster) setupObserve() error {
 // fixed by construction order, so exports are deterministic.
 func (c *Cluster) registerMetrics() error {
 	reg := c.registry
-	k := c.kernel
+	// In a sharded run the sim/ gauges sum over every shard kernel
+	// (sampling is sequential there; see Config.ShardWorkers).
+	kernels := c.kernels
+	if kernels == nil {
+		kernels = []*sim.Kernel{c.kernel}
+	}
+	sum := func(per func(*sim.Kernel) float64) func() float64 {
+		return func() float64 {
+			var n float64
+			for _, k := range kernels {
+				n += per(k)
+			}
+			return n
+		}
+	}
 	add := func(name string, fn func() float64) error { return reg.Register(name, fn) }
 
-	if err := add("sim/pending-events", func() float64 { return float64(k.Pending()) }); err != nil {
+	if err := add("sim/pending-events", sum(func(k *sim.Kernel) float64 { return float64(k.Pending()) })); err != nil {
 		return err
 	}
-	if err := add("sim/executed-events", func() float64 { return float64(k.Executed()) }); err != nil {
+	if err := add("sim/executed-events", sum(func(k *sim.Kernel) float64 { return float64(k.Executed()) })); err != nil {
 		return err
 	}
-	if err := add("sim/cancelled-timers", func() float64 { return float64(k.Cancelled()) }); err != nil {
+	if err := add("sim/cancelled-timers", sum(func(k *sim.Kernel) float64 { return float64(k.Cancelled()) })); err != nil {
 		return err
 	}
 	for _, n := range c.fabric.Nodes() {

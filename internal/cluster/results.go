@@ -68,11 +68,16 @@ type Results struct {
 	// Scale echoes the config's scale factor, so latency renderings can
 	// convert back to full-scale equivalents.
 	Scale float64
-	// EventsExecuted is the simulation kernel's total fired-event count
-	// at the end of the run. It is fully deterministic (part of the
-	// byte-identity surface); dividing it by wall-clock time gives the
-	// kernel's events-per-second figure cmd/haechibench reports.
+	// EventsExecuted is the simulation's total fired-event count at the
+	// end of the run (summed over shard kernels in a sharded run). It is
+	// fully deterministic (part of the byte-identity surface); dividing
+	// it by wall-clock time gives the kernel's events-per-second figure
+	// cmd/haechibench reports.
 	EventsExecuted uint64
+	// Sharding summarizes the sharded-kernel run; nil on the classic
+	// single-kernel path. Deterministic — it never includes the worker
+	// count (workers are pure concurrency; see Config.ShardWorkers).
+	Sharding *ShardingReport `json:",omitempty"`
 	// Stages is the per-tenant per-stage latency breakdown from the
 	// flight recorder; nil unless Config.Observe enabled span recording.
 	Stages []StageLatency `json:",omitempty"`
@@ -92,6 +97,10 @@ func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) *Resu
 		ServerStats:     serverStats,
 		Scale:           c.cfg.Scale,
 		EventsExecuted:  c.kernel.Executed(),
+	}
+	if c.group != nil {
+		res.EventsExecuted = c.group.Executed()
+		res.Sharding = c.shardingReport()
 	}
 	if c.flight != nil {
 		res.Flight = c.flight

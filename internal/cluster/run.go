@@ -15,6 +15,9 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 		return nil, fmt.Errorf("cluster: need warmupPeriods >= 0 and measurePeriods > 0, got %d/%d",
 			warmupPeriods, measurePeriods)
 	}
+	if c.group != nil {
+		return c.runSharded(warmupPeriods, measurePeriods)
+	}
 	k := c.kernel
 	T := c.cfg.Params.Period
 	start := k.Now()

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/haechi-qos/haechi/internal/workload"
+)
+
+// shardedRun executes a figure-scale Haechi experiment sharded onto
+// per-node kernels and returns the fully serialized Results.
+func shardedRun(t *testing.T, mode Mode, shards, workers int) []byte {
+	t.Helper()
+	specs := make([]ClientSpec, 6)
+	for i := range specs {
+		specs[i] = ClientSpec{
+			Reservation:    1200,
+			Demand:         ConstantDemand(1500),
+			UpdateFraction: 0.05,
+		}
+	}
+	// One open-loop random-arrival client to exercise the RNG paths.
+	specs[5].Pattern = workload.Poisson{}
+	cfg := testConfig(mode)
+	if mode == Bare {
+		for i := range specs {
+			specs[i].Reservation = 0
+		}
+	}
+	cfg.Seed = 42
+	cfg.Shards = shards
+	cfg.ShardWorkers = workers
+	cl, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardedKernelByteIdentical is the sharded kernel's core
+// acceptance property: the worker count is pure concurrency. A
+// figure-scale run sharded across 3 kernels must serialize to
+// byte-identical Results whether the quanta execute inline (1 worker)
+// or on a pool wider than the shard count (8 workers) — every period
+// count, latency percentile, timeline point, overhead counter, and the
+// ShardingReport itself.
+func TestShardedKernelByteIdentical(t *testing.T) {
+	base := shardedRun(t, Haechi, 3, 1)
+	for _, workers := range []int{2, 8} {
+		got := shardedRun(t, Haechi, 3, workers)
+		if !bytes.Equal(base, got) {
+			t.Errorf("workers=%d diverged from workers=1", workers)
+			reportDivergence(t, base, got)
+		}
+	}
+}
+
+// TestShardedKernelByteIdenticalBare covers the bare path, whose period
+// boundaries are driven by per-shard tickers instead of QoS engines.
+func TestShardedKernelByteIdenticalBare(t *testing.T) {
+	base := shardedRun(t, Bare, 3, 1)
+	got := shardedRun(t, Bare, 3, 4)
+	if !bytes.Equal(base, got) {
+		reportDivergence(t, base, got)
+	}
+}
+
+// TestShardedRunRepeatable pins the sharded path's seed determinism:
+// two identical sharded runs serialize byte-identically, exactly like
+// TestDeterminismByteIdentical does for the single-kernel path.
+func TestShardedRunRepeatable(t *testing.T) {
+	a := shardedRun(t, Haechi, 3, 2)
+	b := shardedRun(t, Haechi, 3, 2)
+	if !bytes.Equal(a, b) {
+		reportDivergence(t, a, b)
+	}
+}
+
+// TestShardedReportShape sanity-checks the ShardingReport: shard count
+// clamped to clients+1, the data node and "bg/" initiators on shard 0,
+// clients round-robin across the rest, and events conserved (the
+// per-shard counts sum to EventsExecuted).
+func TestShardedReportShape(t *testing.T) {
+	specs := make([]ClientSpec, 4)
+	for i := range specs {
+		specs[i] = ClientSpec{Reservation: 1200, Demand: ConstantDemand(1500)}
+	}
+	cfg := testConfig(Haechi)
+	cfg.Seed = 9
+	cfg.Shards = 64 // clamps to 5
+	cl, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.AddBackgroundJob("noise", 8); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.Sharding
+	if sr == nil {
+		t.Fatal("sharded run produced no ShardingReport")
+	}
+	if sr.Shards != len(specs)+1 {
+		t.Errorf("Shards = %d, want %d (clamped)", sr.Shards, len(specs)+1)
+	}
+	if sr.Quanta == 0 || sr.CrossMessages == 0 {
+		t.Errorf("expected nonzero quanta (%d) and cross messages (%d)", sr.Quanta, sr.CrossMessages)
+	}
+	if len(sr.PerShardEvents) != sr.Shards || len(sr.IdleQuanta) != sr.Shards {
+		t.Fatalf("per-shard slices sized %d/%d, want %d",
+			len(sr.PerShardEvents), len(sr.IdleQuanta), sr.Shards)
+	}
+	var sum uint64
+	for _, n := range sr.PerShardEvents {
+		sum += n
+	}
+	if sum != res.EventsExecuted {
+		t.Errorf("per-shard events sum %d != EventsExecuted %d", sum, res.EventsExecuted)
+	}
+	if sr.Nodes[0].Name != "datanode" || sr.Nodes[0].Shard != 0 {
+		t.Errorf("data node assignment = %+v, want shard 0", sr.Nodes[0])
+	}
+	for i, na := range sr.Nodes[1:] {
+		want := 1 + i%(sr.Shards-1)
+		if na.Shard != want {
+			t.Errorf("client %d on shard %d, want %d (round-robin)", i, na.Shard, want)
+		}
+	}
+}
+
+// TestShardedObserveForcesSequential verifies the Observe clamp: with
+// the flight recorder and gauges reading cross-shard state, the group
+// must run with exactly one worker regardless of ShardWorkers.
+func TestShardedObserveForcesSequential(t *testing.T) {
+	specs := []ClientSpec{{Reservation: 1200, Demand: ConstantDemand(1500)}}
+	cfg := testConfig(Haechi)
+	cfg.Shards = 2
+	cfg.ShardWorkers = 8
+	cfg.Observe = &Observe{
+		FlightSpans:     256,
+		MetricsInterval: DefaultMetricsInterval(cfg.Params.Period),
+	}
+	cl, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.group.Workers(); got != 1 {
+		t.Errorf("Observe run uses %d workers, want 1", got)
+	}
+	if _, err := cl.Run(1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// ShardAssignment records which shard a node landed on.
+type ShardAssignment struct {
+	Name  string
+	Shard int
+}
+
+// ShardingReport summarizes a sharded run (Config.Shards > 1). Every
+// field is deterministic and part of the byte-identity surface — which
+// is why the worker count is deliberately absent: workers are pure
+// concurrency and must never show up in Results.
+type ShardingReport struct {
+	// Shards is the effective shard count (after clamping).
+	Shards int
+	// Lookahead is the conservative quantum Δ (the fabric's propagation
+	// delay).
+	Lookahead sim.Time
+	// Quanta is the number of synchronization quanta executed.
+	Quanta uint64
+	// CrossMessages is the number of cross-shard mailbox deliveries.
+	CrossMessages uint64
+	// PerShardEvents is each shard kernel's fired-event count.
+	PerShardEvents []uint64
+	// IdleQuanta is, per shard, how many quanta fired zero events there —
+	// the deterministic proxy for barrier stall: a high count means the
+	// shard mostly waited on its peers at the quantum barrier.
+	IdleQuanta []uint64
+	// Nodes maps cluster nodes to shards (data node first, then clients
+	// in index order).
+	Nodes []ShardAssignment
+}
+
+// runSharded is Run's quantum-coordinated twin: the same warm-up/measure
+// protocol, but every per-client action (period boundaries, harvesting,
+// measure-window flags) is scheduled on that client's own shard kernel so
+// a quantum never writes state owned by another shard. The data-node-side
+// pieces (monitor, metrics sampling, server-stat snapshots, background
+// jobs) all live on shard 0 and keep using c.kernel directly.
+func (c *Cluster) runSharded(warmupPeriods, measurePeriods int) (*Results, error) {
+	T := c.cfg.Params.Period
+	start := c.kernel.Now()
+
+	byShard := make([][]*Client, len(c.kernels))
+	for _, rt := range c.clients {
+		s := rt.Node.Shard()
+		byShard[s] = append(byShard[s], rt)
+	}
+
+	var bareTickers []*sim.Ticker
+	if c.cfg.Mode == Bare {
+		// One period ticker per shard, driving only that shard's clients.
+		// All shards tick at the same virtual instants, so the per-shard
+		// period counters advance in lockstep with the unsharded ticker.
+		for s, list := range byShard {
+			if len(list) == 0 {
+				continue
+			}
+			list := list
+			period := 0
+			tick, err := c.kernels[s].Every(0, T, func() {
+				period++
+				for _, rt := range list {
+					c.harvest(rt, period)
+					rt.Gen.BeginPeriod(rt.Spec.Demand(period))
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			bareTickers = append(bareTickers, tick)
+		}
+	} else {
+		if err := c.monitor.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	var metricsTicker *sim.Ticker
+	if c.registry != nil {
+		// Gauges read cross-shard state; Observe forces ShardWorkers to 1
+		// (see Config.ShardWorkers), making this sequential and safe.
+		t, err := c.kernel.Every(0, c.cfg.Observe.MetricsInterval, func() {
+			c.registry.Sample(c.kernel.Now())
+		})
+		if err != nil {
+			return nil, err
+		}
+		metricsTicker = t
+	}
+
+	warmEnd := start + sim.Time(warmupPeriods)*T
+	measureEnd := warmEnd + sim.Time(measurePeriods)*T
+	c.kernel.At(warmEnd, func() {
+		c.serverStat0 = c.server.Stats()
+	})
+	for s, list := range byShard {
+		if len(list) == 0 {
+			continue
+		}
+		list := list
+		c.kernels[s].At(warmEnd, func() {
+			for _, rt := range list {
+				rt.Gen.Latency.Reset()
+				rt.measuring = true
+				// The next harvest closes the final warm-up period; skip it.
+				rt.skipNext = true
+			}
+		})
+		c.kernels[s].At(measureEnd+T/2, func() {
+			for _, rt := range list {
+				rt.measuring = false
+			}
+		})
+	}
+
+	c.group.RunUntil(measureEnd + 3*T/4)
+	c.group.Close()
+	serverStats := c.server.Stats().Sub(c.serverStat0)
+
+	if metricsTicker != nil {
+		metricsTicker.Stop()
+	}
+	for _, tick := range bareTickers {
+		tick.Stop()
+	}
+	if c.monitor != nil {
+		c.monitor.Stop()
+	}
+	for _, rt := range c.clients {
+		rt.Gen.Stop()
+		if rt.Engine != nil {
+			rt.Engine.Stop()
+		}
+	}
+	res := c.buildResults(measurePeriods, serverStats)
+	if ob := c.cfg.Observe; ob != nil && ob.OnResults != nil {
+		ob.OnResults(res)
+	}
+	return res, nil
+}
+
+// shardingReport assembles the Results entry for a sharded run.
+func (c *Cluster) shardingReport() *ShardingReport {
+	per := make([]uint64, len(c.kernels))
+	for s, k := range c.kernels {
+		per[s] = k.Executed()
+	}
+	sr := &ShardingReport{
+		Shards:         len(c.kernels),
+		Lookahead:      c.group.Delta(),
+		Quanta:         c.group.Quanta(),
+		CrossMessages:  c.group.CrossMessages(),
+		PerShardEvents: per,
+		IdleQuanta:     c.group.IdleQuanta(),
+	}
+	sr.Nodes = append(sr.Nodes, ShardAssignment{Name: c.server.Name(), Shard: c.server.Shard()})
+	for _, rt := range c.clients {
+		sr.Nodes = append(sr.Nodes, ShardAssignment{Name: rt.Node.Name(), Shard: rt.Node.Shard()})
+	}
+	return sr
+}

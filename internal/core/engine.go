@@ -137,7 +137,7 @@ func NewEngine(params Params, grant ClientGrant, node *rdma.Node, disp *rdma.Dis
 		params:    params,
 		id:        grant.ID,
 		limit:     limit,
-		k:         node.Fabric().Kernel(),
+		k:         node.Kernel(),
 		node:      node,
 		qp:        qp,
 		qos:       grant.QoSRegion,

@@ -132,7 +132,7 @@ func NewMonitor(params Params, node *rdma.Node, est *CapacityEstimator, adm *Adm
 	}
 	m := &Monitor{
 		params:  params,
-		k:       node.Fabric().Kernel(),
+		k:       node.Kernel(),
 		node:    node,
 		region:  region,
 		loop:    loop,

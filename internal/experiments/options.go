@@ -40,6 +40,15 @@ type Options struct {
 	// run's Results — experiments that compare modes run several
 	// clusters internally, and each one reports through the hook.
 	Observe *cluster.Observe
+	// Shards partitions every cluster the experiment builds onto
+	// per-shard simulation kernels (see cluster.Config.Shards). Like
+	// Scale, it is part of the experiment definition: sharded output is
+	// deterministic but differs from unsharded output.
+	Shards int
+	// ShardWorkers drives the sharded kernels concurrently (see
+	// cluster.Config.ShardWorkers). Pure concurrency — output is
+	// identical at any value.
+	ShardWorkers int
 }
 
 // NewDefaultOptions returns the fast defaults.
@@ -93,6 +102,9 @@ func (o Options) validate() (Options, error) {
 	if o.Parallel < 0 {
 		return o, fmt.Errorf("experiments: Parallel must be >= 0, got %d", o.Parallel)
 	}
+	if o.Shards < 0 {
+		return o, fmt.Errorf("experiments: Shards must be >= 0, got %d", o.Shards)
+	}
 	return o, nil
 }
 
@@ -117,6 +129,8 @@ func (o Options) baseConfig(mode cluster.Mode) cluster.Config {
 	cfg.Records = o.Records
 	cfg.Seed = o.Seed
 	cfg.Observe = o.Observe
+	cfg.Shards = o.Shards
+	cfg.ShardWorkers = o.ShardWorkers
 	return cfg
 }
 

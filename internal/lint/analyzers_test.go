@@ -162,8 +162,8 @@ func TestDefaultRulesWaivers(t *testing.T) {
 	for _, r := range lint.DefaultRules() {
 		byName[r.Analyzer.Name] = r
 	}
-	if len(byName) != 5 {
-		t.Fatalf("expected 5 default rules, got %d", len(byName))
+	if len(byName) != 6 {
+		t.Fatalf("expected 6 default rules, got %d", len(byName))
 	}
 	if byName["walltime"].Applies("cmd/haechibench") {
 		t.Error("walltime must waive cmd/haechibench (it measures real tool runtime)")

@@ -9,7 +9,7 @@
 // this package turns the contract into a machine-checked invariant.
 //
 // The suite is stdlib-only (go/parser, go/ast, go/types); it adds no
-// module dependencies and runs offline. Five analyzers ship by default:
+// module dependencies and runs offline. Six analyzers ship by default:
 //
 //   - walltime: wall-clock time is forbidden; simulated time comes from
 //     the sim.Kernel clock.
@@ -24,6 +24,8 @@
 //   - floateq: ==/!= between floating-point operands in QoS/capacity
 //     math is rounding-order fragile (exact-zero sentinel checks are
 //     exempt).
+//   - parallelimport: internal/parallel (the worker pool) may only be
+//     imported by the documented orchestration waivers.
 package lint
 
 import (
@@ -192,6 +194,12 @@ var KernelPackages = []string{
 //     kernels on worker goroutines and merges results by input index),
 //     and cmd/haechibench keeps an atomic events counter fed by Observe
 //     callbacks that fire concurrently under parallel sweeps.
+//   - parallelimport scopes that boundary: only the orchestration
+//     layers that drive whole kernels from outside may import
+//     internal/parallel — internal/experiments (parameter sweeps),
+//     internal/cluster (the profiling fan-out), and internal/sim/shard
+//     (the sharded-kernel coordinator, whose quantum protocol keeps
+//     results byte-identical at any worker count). See DESIGN.md §6.
 func DefaultRules() []Rule {
 	return []Rule{
 		{Analyzer: Walltime, Exclude: []string{"cmd/haechibench"}},
@@ -199,12 +207,15 @@ func DefaultRules() []Rule {
 		{Analyzer: Maporder},
 		{Analyzer: Noconcurrency, Exclude: []string{"internal/parallel", "cmd/haechibench"}},
 		{Analyzer: Floateq, Include: []string{".", "internal"}},
+		{Analyzer: Parallelimport, Exclude: []string{
+			"internal/experiments", "internal/cluster", "internal/sim/shard",
+		}},
 	}
 }
 
-// Analyzers returns the five shipped analyzers, unscoped.
+// Analyzers returns the six shipped analyzers, unscoped.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Walltime, Globalrand, Maporder, Noconcurrency, Floateq}
+	return []*Analyzer{Walltime, Globalrand, Maporder, Noconcurrency, Floateq, Parallelimport}
 }
 
 // Run applies every rule to every package it covers and returns the

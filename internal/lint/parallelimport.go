@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parallelimport confines the module's one concurrency primitive:
+// internal/parallel (the worker pool and sweep runner) may only be
+// imported by the short list of orchestration layers that drive whole
+// kernels from outside — the experiment sweeps, the cluster's profiling
+// fan-out, and the sharded-kernel coordinator. Everything else runs
+// inside a single kernel's event loop, where pulling in the pool would
+// reintroduce exactly the scheduler-dependent interleaving the
+// noconcurrency rule exists to forbid. Each excluded package is a
+// standing, documented waiver (DESIGN.md §6).
+var Parallelimport = &Analyzer{
+	Name: "parallelimport",
+	Doc: "forbids importing internal/parallel outside the documented " +
+		"orchestration waivers (experiment sweeps, cluster profiling, shard coordinator)",
+	Run: runParallelimport,
+}
+
+func runParallelimport(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "internal/parallel" || strings.HasSuffix(path, "/internal/parallel") {
+				out = append(out, p.diag("parallelimport", spec.Pos(),
+					"import of %q outside the documented concurrency waivers; "+
+						"simulation code runs single-threaded inside a kernel — orchestrate "+
+						"parallelism from the waived packages (DESIGN.md §6) or stay sequential", path))
+			}
+		}
+	}
+	return out
+}

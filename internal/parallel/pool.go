@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed set of worker goroutines that repeatedly executes
+// indexed job batches. It exists for callers that issue many small
+// barrier-synchronized rounds — the shard coordinator runs one batch
+// per synchronization quantum — where Map's per-call goroutine spawn
+// would dominate the work.
+//
+// The determinism contract matches Map: a batch's side effects depend
+// only on (n, job), never on the worker count. Jobs within one batch
+// run concurrently and must not share mutable state; Run returns only
+// after every job has finished, so the barrier gives callers a
+// happens-before edge between consecutive batches.
+type Pool struct {
+	workers int
+	jobs    chan poolJob
+	wg      sync.WaitGroup
+}
+
+type poolJob struct {
+	i    int
+	fn   func(i int)
+	done *sync.WaitGroup
+}
+
+// NewPool starts a pool of the given size. Workers <= 0 selects
+// runtime.GOMAXPROCS(0). A pool of 1 spawns no goroutines: Run executes
+// inline, making the single-worker path identical to a plain loop.
+// Call Close when done with a multi-worker pool.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers == 1 {
+		return p
+	}
+	p.jobs = make(chan poolJob)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				j.fn(j.i)
+				j.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes job(0) … job(n-1) and returns once all have completed.
+// With one worker the jobs run inline, in index order.
+func (p *Pool) Run(n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		p.jobs <- poolJob{i: i, fn: job, done: &done}
+	}
+	done.Wait()
+}
+
+// Close stops the workers. The pool must not be used afterwards.
+// Closing a single-worker pool is a no-op.
+func (p *Pool) Close() {
+	if p.jobs == nil {
+		return
+	}
+	close(p.jobs)
+	p.wg.Wait()
+	p.jobs = nil
+}

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryJobExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := NewPool(workers)
+		var calls [64]int32
+		for round := 0; round < 10; round++ {
+			p.Run(64, func(i int) { atomic.AddInt32(&calls[i], 1) })
+		}
+		p.Close()
+		for i, c := range calls {
+			if c != 10 {
+				t.Fatalf("workers=%d: job %d ran %d times, want 10", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestPoolRunIsABarrier pins the happens-before edge between batches:
+// batch N+1's jobs must observe every write made by batch N's jobs.
+func TestPoolRunIsABarrier(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 32
+	vals := make([]int, n)
+	for round := 1; round <= 50; round++ {
+		p.Run(n, func(i int) {
+			if vals[i] != round-1 {
+				panic("barrier violated")
+			}
+			vals[i] = round
+		})
+	}
+	for i, v := range vals {
+		if v != 50 {
+			t.Fatalf("vals[%d] = %d, want 50", i, v)
+		}
+	}
+}
+
+func TestPoolSingleWorkerRunsInline(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var order []int
+	p.Run(8, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolEmptyBatch(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	p.Run(0, func(i int) { t.Fatal("job ran for empty batch") })
+}

@@ -85,9 +85,12 @@ func (b *BackgroundJob) issue() {
 	b.initiator.nic.SubmitWeighted(1, b.onInitFn)
 }
 
-// onInit: the initiator NIC transmitted one background I/O; cross the wire.
+// onInit: the initiator NIC transmitted one background I/O; cross the
+// wire. Background initiators share the target's shard (the cluster's
+// assignment pins "bg/"-prefixed nodes there), so the hop is a plain
+// same-kernel schedule even in a sharded run.
 func (b *BackgroundJob) onInit() {
-	b.fabric.k.Schedule(b.fabric.cfg.PropagationDelay, b.onArriveFn)
+	b.initiator.k.Schedule(b.fabric.cfg.PropagationDelay, b.onArriveFn)
 }
 
 // onArrive: the I/O reached the target; queue it at the round-robin

@@ -38,6 +38,12 @@ type Node struct {
 	name   string
 	kind   NodeKind
 
+	// k is the kernel every event local to this node runs on. Without
+	// sharding it is the fabric's kernel; under EnableSharding it is the
+	// node's shard kernel. All of the node's stations are built on it.
+	k     *sim.Kernel
+	shard int
+
 	// nic processes every verb that transits this node (initiations and,
 	// for servers, incoming one-sided targets).
 	nic *sim.Station
@@ -58,6 +64,15 @@ func (n *Node) Name() string { return n.name }
 
 // Fabric returns the fabric the node is attached to.
 func (n *Node) Fabric() *Fabric { return n.fabric }
+
+// Kernel returns the kernel the node's events run on: the fabric kernel,
+// or the node's shard kernel when sharding is enabled. Components owned
+// by one node (engines, generators, the monitor) must schedule on this
+// kernel, never on Fabric.Kernel directly.
+func (n *Node) Kernel() *sim.Kernel { return n.k }
+
+// Shard returns the node's shard index; 0 when sharding is disabled.
+func (n *Node) Shard() int { return n.shard }
 
 // Kind returns the node kind.
 func (n *Node) Kind() NodeKind { return n.kind }
@@ -113,6 +128,13 @@ type Fabric struct {
 	// qpSeq numbers queue pairs in creation order; the id is the span
 	// track within the initiator's process in Chrome trace exports.
 	qpSeq int
+
+	// Sharded mode (see EnableSharding): shardKernels[s] drives shard s,
+	// assign maps a node name to its shard, and post hands a cross-shard
+	// event to the coordinator's mailboxes. All nil when unsharded.
+	shardKernels []*sim.Kernel
+	assign       func(name string, kind NodeKind) int
+	post         func(src, dst int, at sim.Time, fn func())
 }
 
 // NewFabric creates a fabric on kernel k with the given performance model.
@@ -123,8 +145,38 @@ func NewFabric(k *sim.Kernel, cfg Config) (*Fabric, error) {
 	return &Fabric{k: k, cfg: cfg}, nil
 }
 
-// Kernel returns the simulation kernel driving this fabric.
+// Kernel returns the simulation kernel driving this fabric. Under
+// sharding this is shard 0's kernel (the one NewFabric was given);
+// per-node work must use Node.Kernel instead.
 func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// Sharded reports whether EnableSharding has been called.
+func (f *Fabric) Sharded() bool { return f.shardKernels != nil }
+
+// EnableSharding switches the fabric to sharded mode: each node is
+// built on the shard kernel assign selects for it, and cross-shard
+// verb traffic is routed through post (the shard coordinator's mailbox
+// Post) instead of being scheduled directly — the wire latency
+// PropagationDelay is the coordinator's lookahead, so every cross-shard
+// hop is a legal mailbox message by construction. kernels[0] must be
+// the kernel NewFabric was given. Must be called before any node is
+// added; the assignment is then fixed for the fabric's lifetime, which
+// keeps a sharded run replayable from its config alone.
+func (f *Fabric) EnableSharding(kernels []*sim.Kernel, assign func(name string, kind NodeKind) int, post func(src, dst int, at sim.Time, fn func())) error {
+	if len(f.nodes) > 0 {
+		return fmt.Errorf("rdma: EnableSharding must be called before nodes are added (%d exist)", len(f.nodes))
+	}
+	if len(kernels) == 0 || assign == nil || post == nil {
+		return fmt.Errorf("rdma: EnableSharding requires kernels, an assignment, and a post function")
+	}
+	if kernels[0] != f.k {
+		return fmt.Errorf("rdma: EnableSharding: kernels[0] must be the fabric's kernel")
+	}
+	f.shardKernels = kernels
+	f.assign = assign
+	f.post = post
+	return nil
+}
 
 // SetFlightRecorder attaches (or, with nil, detaches) a flight recorder
 // that will receive a span for every verb initiated from now on.
@@ -159,18 +211,27 @@ func (f *Fabric) addNode(name string, kind NodeKind) (*Node, error) {
 		fabric:  f,
 		name:    name,
 		kind:    kind,
+		k:       f.k,
 		regions: make(map[string]*Region),
+	}
+	if f.shardKernels != nil {
+		s := f.assign(name, kind)
+		if s < 0 || s >= len(f.shardKernels) {
+			return nil, fmt.Errorf("rdma: node %q assigned to shard %d, have %d shards", name, s, len(f.shardKernels))
+		}
+		n.shard = s
+		n.k = f.shardKernels[s]
 	}
 	n.sched.node = n
 	n.sched.onServedFn = n.sched.onServed
 	var err error
 	switch kind {
 	case ClientNode:
-		n.nic, err = sim.NewStation(f.k, name+"/nic", f.cfg.ClientOneSidedRate, f.cfg.Jitter)
+		n.nic, err = sim.NewStation(n.k, name+"/nic", f.cfg.ClientOneSidedRate, f.cfg.Jitter)
 	case ServerNode:
-		n.nic, err = sim.NewStation(f.k, name+"/nic", f.cfg.ServerOneSidedRate, f.cfg.Jitter)
+		n.nic, err = sim.NewStation(n.k, name+"/nic", f.cfg.ServerOneSidedRate, f.cfg.Jitter)
 		if err == nil {
-			n.cpu, err = sim.NewStation(f.k, name+"/cpu", f.cfg.ServerTwoSidedRate, f.cfg.Jitter)
+			n.cpu, err = sim.NewStation(n.k, name+"/cpu", f.cfg.ServerTwoSidedRate, f.cfg.Jitter)
 		}
 	default:
 		err = fmt.Errorf("rdma: unknown node kind %v", kind)
@@ -197,6 +258,7 @@ func (f *Fabric) Connect(initiator, target *Node) (*QP, error) {
 		initiator: initiator,
 		target:    target,
 		window:    f.cfg.FlowControlWindow,
+		cross:     initiator.shard != target.shard && f.post != nil,
 	}
 	qp.bindStages()
 	return qp, nil

@@ -32,6 +32,18 @@ type QP struct {
 	initiator *Node
 	target    *Node
 
+	// cross marks a QP whose initiator and target live on different
+	// shard kernels. Such a QP splits its pipeline at the wire: the
+	// initiator-side stages run on the initiator's kernel, the
+	// target-side stages on the target's, and every wire hop (arrival,
+	// completion delivery, credit return) travels through the shard
+	// coordinator's mailboxes as a message carrying the flowOp by value
+	// — the shared per-stage wire/deliver FIFOs are bypassed, since two
+	// kernels may not touch one FIFO concurrently. The mailbox hop costs
+	// one closure allocation per wire crossing; same-shard QPs keep the
+	// allocation-free FIFO path unchanged.
+	cross bool
+
 	// Credit-based flow control for bulk transfers (see
 	// Config.FlowControlWindow): inFlight counts data operations admitted
 	// to the target and not yet serviced; waiting holds operations that
@@ -177,7 +189,15 @@ func (op *flowOp) apply() {
 func (op *flowOp) invokeCB() {
 	switch op.kind {
 	case opRead:
-		op.readCB(op.region.bytes(op.off, op.size))
+		// Cross-shard READs snapshot the target memory into buf at serve
+		// time (see serveOp): the live region view belongs to the target's
+		// shard and must not be read a propagation later from the
+		// initiator's. Same-shard READs keep the zero-copy view.
+		if op.buf != nil {
+			op.readCB(op.buf)
+		} else {
+			op.readCB(op.region.bytes(op.off, op.size))
+		}
 	case opFetchAdd, opCompareSwap:
 		if op.u64CB != nil {
 			op.u64CB(op.result)
@@ -202,7 +222,7 @@ func (qp *QP) beginSpan(op trace.Op, control bool) *trace.Span {
 	if fr == nil {
 		return nil
 	}
-	return fr.Begin(op, control, qp.initiator.name, qp.target.name, qp.id, qp.fabric.k.Now())
+	return fr.Begin(op, control, qp.initiator.name, qp.target.name, qp.id, qp.initiator.k.Now())
 }
 
 // Target returns the target node.
@@ -265,30 +285,59 @@ func (qp *QP) initiate(op flowOp) {
 }
 
 // ctrlInitDone: a control op finished initiator-NIC service; put it on
-// the wire.
+// the wire. Cross-shard, the wire hop is a mailbox message carrying the
+// op by value to the target's kernel.
 func (qp *QP) ctrlInitDone() {
 	op := qp.ctrlInit.pop()
-	k := qp.fabric.k
+	k := qp.initiator.k
 	if op.span != nil {
 		op.span.InitDone = k.Now()
+	}
+	if qp.cross {
+		qp.postToTarget(op, k.Now()+qp.fabric.cfg.PropagationDelay, (*QP).ctrlArriveOp)
+		return
 	}
 	qp.ctrlWire.push(op)
 	k.Schedule(qp.fabric.cfg.PropagationDelay, qp.ctrlArriveFn)
 }
 
-// ctrlArrive: a control op reached the target; charge the target NIC's
-// priority path.
-func (qp *QP) ctrlArrive() {
-	op := qp.ctrlWire.pop()
+// ctrlArrive: a control op reached the target (same-shard FIFO path).
+func (qp *QP) ctrlArrive() { qp.ctrlArriveOp(qp.ctrlWire.pop()) }
+
+// ctrlArriveOp charges the target NIC's priority path for an arrived
+// control op. Runs on the target's kernel.
+func (qp *QP) ctrlArriveOp(op flowOp) {
 	if op.span != nil {
-		op.span.Arrived = qp.fabric.k.Now()
+		op.span.Arrived = qp.target.k.Now()
 	}
+	qp.noteArrival(op)
 	if op.kind == opSend {
 		qp.sendTargetSubmit(op)
 		return
 	}
 	qp.ctrlServe.push(op)
 	qp.target.nic.SubmitPriority(op.weight, qp.ctrlServedFn)
+}
+
+// noteArrival counts an op against the target's verb stats. Same-shard
+// QPs count at post time (the historical and still-default accounting
+// instant); cross-shard QPs must count here, on the target's shard, so
+// the counters have a single writer.
+func (qp *QP) noteArrival(op flowOp) {
+	if !qp.cross {
+		return
+	}
+	if op.kind == opSend {
+		qp.target.stats.SendsReceived++
+	} else {
+		qp.target.stats.OneSidedTargeted++
+	}
+}
+
+// postToTarget sends op across the wire to the target's shard; arrive
+// is the target-side stage to resume at.
+func (qp *QP) postToTarget(op flowOp, at sim.Time, arrive func(*QP, flowOp)) {
+	qp.fabric.post(qp.initiator.shard, qp.target.shard, at, func() { arrive(qp, op) })
 }
 
 // ctrlServed: the target NIC finished a control-class op — either a
@@ -308,25 +357,62 @@ func (qp *QP) ctrlServed() {
 // Shared by the control path, the bulk scheduler path, and (without the
 // propagation hop) the loopback path.
 func (qp *QP) serveOp(op flowOp) {
-	k := qp.fabric.k
+	k := qp.target.k
 	if op.span != nil {
 		op.span.Served = k.Now()
 		if !op.needsDeliver() {
 			qp.fabric.flight.Finish(op.span)
 		}
 	}
+	if qp.cross && op.kind == opRead {
+		// Snapshot the data now; invokeCB prefers buf (never otherwise
+		// set for a READ) over the live region view.
+		op.buf = append([]byte(nil), op.region.bytes(op.off, op.size)...)
+	}
 	op.apply()
+	if qp.cross {
+		// One message back across the wire does both halves of the return
+		// hop: the flow-control credit (held by every non-control data op;
+		// same-shard QPs release it at the serve instant through the
+		// scheduler, but cross-shard the release must run on the
+		// initiator's kernel, one propagation later — the ACK travels the
+		// wire) and, when the op delivers, the completion callback.
+		holdsCredit := !op.control
+		deliver := op.needsDeliver()
+		if !holdsCredit && !deliver {
+			return
+		}
+		qp.postToInitiator(op, k.Now()+qp.fabric.cfg.PropagationDelay, holdsCredit, deliver)
+		return
+	}
 	if op.needsDeliver() {
 		qp.deliver.push(op)
 		k.Schedule(qp.fabric.cfg.PropagationDelay, qp.deliverFn)
 	}
 }
 
-// deliverNext completes the oldest delivered op at the initiator.
-func (qp *QP) deliverNext() {
-	op := qp.deliver.pop()
+// postToInitiator sends the serviced op's return hop to the initiator's
+// shard.
+func (qp *QP) postToInitiator(op flowOp, at sim.Time, credit, deliver bool) {
+	qp.fabric.post(qp.target.shard, qp.initiator.shard, at, func() {
+		if credit {
+			qp.releaseCredit()
+		}
+		if deliver {
+			qp.deliverOp(op)
+		}
+	})
+}
+
+// deliverNext completes the oldest delivered op at the initiator
+// (same-shard FIFO path).
+func (qp *QP) deliverNext() { qp.deliverOp(qp.deliver.pop()) }
+
+// deliverOp completes op at the initiator. Runs on the initiator's
+// kernel.
+func (qp *QP) deliverOp(op flowOp) {
 	if op.span != nil {
-		op.span.Done = qp.fabric.k.Now()
+		op.span.Done = qp.initiator.k.Now()
 		qp.fabric.flight.Finish(op.span)
 	}
 	op.invokeCB()
@@ -339,7 +425,7 @@ func (qp *QP) loopCtrlServed() { qp.loopServe(qp.loopCtrl.pop()) }
 func (qp *QP) loopBulkServed() { qp.loopServe(qp.loopBulk.pop()) }
 
 func (qp *QP) loopServe(op flowOp) {
-	k := qp.fabric.k
+	k := qp.initiator.k // loopback QPs are never cross-shard
 	if op.span != nil {
 		op.span.Served = k.Now()
 		if !op.needsDeliver() {
@@ -363,7 +449,14 @@ func (qp *QP) loopServe(op flowOp) {
 // transmit — matching real credit-based flow control.
 func (qp *QP) admitData(op flowOp) {
 	if qp.serverQ == nil {
-		qp.serverQ = newDataQueue(qp.releaseCredit)
+		if qp.cross {
+			// The scheduler must not call back into initiator-side state
+			// from the target's kernel; the credit returns by mailbox
+			// message instead (see serveOp).
+			qp.serverQ = newDataQueue(nil)
+		} else {
+			qp.serverQ = newDataQueue(qp.releaseCredit)
+		}
 	}
 	if qp.window > 0 && qp.inFlight >= qp.window {
 		qp.waiting.push(op)
@@ -377,7 +470,7 @@ func (qp *QP) admitData(op flowOp) {
 func (qp *QP) transmit(op flowOp) {
 	qp.inFlight++
 	if op.span != nil {
-		op.span.Credit = qp.fabric.k.Now()
+		op.span.Credit = qp.initiator.k.Now()
 	}
 	qp.bulkInit.push(op)
 	qp.initiator.nic.SubmitWeighted(op.initWeight, qp.bulkInitDoneFn)
@@ -387,22 +480,29 @@ func (qp *QP) transmit(op flowOp) {
 // initiator-NIC service; put it on the wire.
 func (qp *QP) bulkInitDone() {
 	op := qp.bulkInit.pop()
-	k := qp.fabric.k
+	k := qp.initiator.k
 	if op.span != nil {
 		op.span.InitDone = k.Now()
+	}
+	if qp.cross {
+		qp.postToTarget(op, k.Now()+qp.fabric.cfg.PropagationDelay, (*QP).bulkArriveOp)
+		return
 	}
 	qp.bulkWire.push(op)
 	k.Schedule(qp.fabric.cfg.PropagationDelay, qp.bulkArriveFn)
 }
 
-// bulkArrive: a bulk-class op reached the target. Data ops queue at the
+// bulkArrive: a bulk-class op reached the target (same-shard FIFO path).
+func (qp *QP) bulkArrive() { qp.bulkArriveOp(qp.bulkWire.pop()) }
+
+// bulkArriveOp routes an arrived bulk-class op: data ops queue at the
 // target's round-robin scheduler; bulk SENDs go to the target NIC
-// directly (they are not flow-controlled).
-func (qp *QP) bulkArrive() {
-	op := qp.bulkWire.pop()
+// directly (they are not flow-controlled). Runs on the target's kernel.
+func (qp *QP) bulkArriveOp(op flowOp) {
 	if op.span != nil {
-		op.span.Arrived = qp.fabric.k.Now()
+		op.span.Arrived = qp.target.k.Now()
 	}
+	qp.noteArrival(op)
 	if op.kind == opSend {
 		qp.sendTargetSubmit(op)
 		return
@@ -456,7 +556,7 @@ func (qp *QP) sendBulkServed() { qp.sendDeliver(qp.sendBulk.pop()) }
 // when the sender asked for a completion callback, schedules it back at
 // the initiator after propagation.
 func (qp *QP) sendDeliver(op flowOp) {
-	k := qp.fabric.k
+	k := qp.target.k
 	if op.span != nil {
 		op.span.Served = k.Now()
 		if op.doneCB == nil {
@@ -464,10 +564,15 @@ func (qp *QP) sendDeliver(op flowOp) {
 		}
 	}
 	qp.target.recv(qp.initiator, op.payload)
-	if op.doneCB != nil {
-		qp.deliver.push(op)
-		k.Schedule(qp.fabric.cfg.PropagationDelay, qp.deliverFn)
+	if op.doneCB == nil {
+		return
 	}
+	if qp.cross {
+		qp.postToInitiator(op, k.Now()+qp.fabric.cfg.PropagationDelay, false, true)
+		return
+	}
+	qp.deliver.push(op)
+	k.Schedule(qp.fabric.cfg.PropagationDelay, qp.deliverFn)
 }
 
 // Read performs a one-sided RDMA READ of size bytes at off in region r.
@@ -483,7 +588,9 @@ func (qp *QP) Read(r *Region, off, size int, cb func(data []byte)) error {
 	w := qp.fabric.cfg.sizeWeight(size)
 	qp.initiator.stats.Reads++
 	qp.initiator.stats.BytesRead += uint64(size)
-	qp.target.stats.OneSidedTargeted++
+	if !qp.cross { // cross-shard: counted at arrival, on the target's shard
+		qp.target.stats.OneSidedTargeted++
+	}
 	control := qp.fabric.cfg.isControl(size)
 	qp.initiate(flowOp{
 		kind:       opRead,
@@ -515,7 +622,9 @@ func (qp *QP) Write(r *Region, off int, data []byte, cb func()) error {
 	w := qp.fabric.cfg.sizeWeight(len(buf))
 	qp.initiator.stats.Writes++
 	qp.initiator.stats.BytesWritten += uint64(len(buf))
-	qp.target.stats.OneSidedTargeted++
+	if !qp.cross { // cross-shard: counted at arrival, on the target's shard
+		qp.target.stats.OneSidedTargeted++
+	}
 	control := qp.fabric.cfg.isControl(len(buf))
 	qp.initiate(flowOp{
 		kind:       opWrite,
@@ -552,7 +661,9 @@ func (qp *QP) FetchAdd(r *Region, off int, delta int64, cb func(old int64)) erro
 	}
 	w := qp.fabric.cfg.AtomicWeight
 	qp.initiator.stats.FetchAdds++
-	qp.target.stats.OneSidedTargeted++
+	if !qp.cross { // cross-shard: counted at arrival, on the target's shard
+		qp.target.stats.OneSidedTargeted++
+	}
 	qp.initiate(flowOp{
 		kind:       opFetchAdd,
 		control:    true,
@@ -581,7 +692,9 @@ func (qp *QP) CompareSwap(r *Region, off int, expect, swap int64, cb func(old in
 	}
 	w := qp.fabric.cfg.AtomicWeight
 	qp.initiator.stats.CompareSwaps++
-	qp.target.stats.OneSidedTargeted++
+	if !qp.cross { // cross-shard: counted at arrival, on the target's shard
+		qp.target.stats.OneSidedTargeted++
+	}
 	qp.initiate(flowOp{
 		kind:       opCompareSwap,
 		control:    true,
@@ -622,7 +735,9 @@ func (qp *QP) Send(payload any, size int, cb func()) error {
 		initWeight += f.twoSidedExtraWeight()
 	}
 	qp.initiator.stats.SendsSent++
-	qp.target.stats.SendsReceived++
+	if !qp.cross { // cross-shard: counted at arrival, on the target's shard
+		qp.target.stats.SendsReceived++
+	}
 
 	control := f.cfg.isControl(size)
 	op := flowOp{

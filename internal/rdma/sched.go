@@ -91,7 +91,7 @@ func (s *rrScheduler) pump() {
 	}
 	s.inService = true
 	if op.span != nil {
-		op.span.Service = s.node.fabric.k.Now()
+		op.span.Service = s.node.k.Now()
 	}
 	s.current = op
 	s.currentQ = q
@@ -111,8 +111,9 @@ func (s *rrScheduler) onServed() {
 			op.applyFn()
 		}
 		if op.completeFn != nil {
-			f := s.node.fabric
-			f.k.Schedule(f.cfg.PropagationDelay, op.completeFn)
+			// opFunc injectors (background jobs) are always same-shard:
+			// their private initiators are assigned to the target's shard.
+			s.node.k.Schedule(s.node.fabric.cfg.PropagationDelay, op.completeFn)
 		}
 	} else {
 		op.qp.serveOp(op)

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"encoding/json"
+	"math"
 	"os"
+	"sort"
 	"testing"
 	"time"
 )
@@ -135,18 +137,33 @@ func TestWriteKernelBenchJSON(t *testing.T) {
 	// Warm-up pass so neither engine pays first-run costs in the timed run.
 	wheelChurn(New(1), n/10)
 	refChurn(newRefKernel(), n/10)
-	start := time.Now()
-	wheelChurn(New(1), n)
-	wheel := float64(n) / time.Since(start).Seconds()
-	start = time.Now()
-	refChurn(newRefKernel(), n)
-	heap := float64(n) / time.Since(start).Seconds()
+	// The CI gate compares the wheel/heap ratio against a committed
+	// baseline, so the measurement must be robust to shared-runner
+	// noise: interleave the engines (a slow phase of the host then hits
+	// both sides of a rep about equally), take each rep's ratio, and
+	// report the median ratio with each engine's peak throughput.
+	const reps = 5
+	var ratios []float64
+	var wheel, heap float64
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		wheelChurn(New(1), n)
+		w := float64(n) / time.Since(start).Seconds()
+		start = time.Now()
+		refChurn(newRefKernel(), n)
+		h := float64(n) / time.Since(start).Seconds()
+		wheel = math.Max(wheel, w)
+		heap = math.Max(heap, h)
+		ratios = append(ratios, w/h)
+	}
+	sort.Float64s(ratios)
+	speedup := ratios[reps/2]
 	out := struct {
 		Events            int     `json:"events"`
 		WheelEventsPerSec float64 `json:"wheel_events_per_sec"`
 		HeapEventsPerSec  float64 `json:"heap_events_per_sec"`
 		Speedup           float64 `json:"speedup"`
-	}{n, wheel, heap, wheel / heap}
+	}{n, wheel, heap, speedup}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/haechi-qos/haechi/internal/sim"
+)
+
+// The sharded-kernel benchmark lives here rather than next to the
+// plain-kernel benchmarks in internal/sim/bench_test.go (where ISSUE 6
+// nominally places it) because those files compile into package sim —
+// importing shard from there would be an import cycle. The artifact
+// (BENCH_shard.json) and the CI wiring treat both files as one suite.
+
+// benchChurn is the sim bench's self-sustaining churn, spread across
+// shards: benchFlows chains per shard, each rescheduling itself at the
+// simulator's delay scales, with one cross-shard hop (delivered a
+// lookahead later, like a one-sided op crossing the fabric) every
+// crossEvery firings. Deterministic: per-shard xorshift streams.
+const (
+	benchShards = 8
+	benchFlows  = 256
+	crossEvery  = 64
+)
+
+var benchDelays = [16]sim.Time{
+	1, 3, 700, 900,
+	sim.Microsecond, 2 * sim.Microsecond, 5 * sim.Microsecond, 17 * sim.Microsecond,
+	40 * sim.Microsecond, 80 * sim.Microsecond, 120 * sim.Microsecond, 300 * sim.Microsecond,
+	sim.Millisecond, 4 * sim.Millisecond, sim.Second / 4, 19 * sim.Second,
+}
+
+func benchRngNext(rng *uint64) uint64 {
+	*rng ^= *rng << 13
+	*rng ^= *rng >> 7
+	*rng ^= *rng << 17
+	return *rng
+}
+
+// shardChurn executes ~n events across the group and returns the exact
+// count. Every piece of mutable state is per-shard.
+func shardChurn(g *Group, n int) uint64 {
+	ks := g.Kernels()
+	rngs := make([]uint64, len(ks))
+	executed := make([]int, len(ks))
+	quota := n / len(ks)
+	var fire func(s int)
+	fire = func(s int) {
+		executed[s]++
+		if executed[s] > quota {
+			return
+		}
+		d := benchDelays[benchRngNext(&rngs[s])&15]
+		if executed[s]%crossEvery == 0 {
+			dst := (s + 1) % len(ks)
+			g.Post(s, dst, ks[s].Now()+sim.Microsecond+d, func() { fire(dst) })
+			return
+		}
+		ks[s].Schedule(d, fire1(fire, s))
+	}
+	for s := range ks {
+		rngs[s] = 0x9e3779b97f4a7c15 ^ uint64(s)<<32
+		for i := 0; i < benchFlows; i++ {
+			ks[s].Schedule(benchDelays[benchRngNext(&rngs[s])&15], fire1(fire, s))
+		}
+	}
+	// Far beyond the churn's reach; the chains die at their quota.
+	g.RunUntil(1 << 50)
+	return g.Executed()
+}
+
+// fire1 binds the shard index without allocating state the peer owns.
+func fire1(fire func(int), s int) func() { return func() { fire(s) } }
+
+// plainChurn runs the same total event load on one bare kernel with no
+// coordinator — the reference the artifact's coordination_ratio divides
+// by. Cross-shard hops become plain schedules at the same delay.
+func plainChurn(n int) uint64 {
+	k := sim.New(1)
+	rng := uint64(0x9e3779b97f4a7c15)
+	executed := 0
+	var fire func()
+	fire = func() {
+		executed++
+		if executed > n {
+			return
+		}
+		d := benchDelays[benchRngNext(&rng)&15]
+		if executed%crossEvery == 0 {
+			d += sim.Microsecond
+		}
+		k.Schedule(d, fire)
+	}
+	for i := 0; i < benchShards*benchFlows; i++ {
+		k.Schedule(benchDelays[benchRngNext(&rng)&15], fire)
+	}
+	k.RunUntil(1 << 50)
+	return k.Executed()
+}
+
+func newBenchGroup(workers int) *Group {
+	ks := make([]*sim.Kernel, benchShards)
+	for s := range ks {
+		ks[s] = sim.New(int64(s) + 1)
+	}
+	g, err := New(ks, sim.Microsecond, workers)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BenchmarkShardedKernelEvents measures group throughput per executed
+// event at several worker counts: events/sec = 1e9 / (ns/op). On a
+// single-core host the >1-worker figures show the coordination
+// overhead instead of a speedup; CI records both plus NumCPU in
+// BENCH_shard.json so the two cases are distinguishable.
+func BenchmarkShardedKernelEvents(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			g := newBenchGroup(workers)
+			defer g.Close()
+			shardChurn(g, b.N)
+		})
+	}
+}
+
+// TestWriteShardBenchJSON is the CI hook behind the BENCH_shard.json
+// artifact: when BENCH_SHARD_JSON names a path, it times a fixed-size
+// churn at worker counts 1/2/4/8 and writes the events-per-second and
+// speedup-vs-1-worker table, plus NumCPU so a core-bound run (speedup
+// ~1/overhead on a single-core runner) is identifiable from the
+// artifact alone. Without the env var it skips.
+func TestWriteShardBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SHARD_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SHARD_JSON=<path> to write the sharded benchmark artifact")
+	}
+	const n = 2_000_000
+	workerCounts := []int{1, 2, 4, 8}
+	type point struct {
+		Workers      int     `json:"workers"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		Speedup      float64 `json:"speedup_vs_1_worker"`
+		IdleQuanta   uint64  `json:"idle_quanta_total"`
+	}
+	out := struct {
+		Events        uint64 `json:"events"`
+		Shards        int    `json:"shards"`
+		NumCPU        int    `json:"num_cpu"`
+		Quanta        uint64 `json:"quanta"`
+		CrossMessages uint64 `json:"cross_messages"`
+		// PlainKernelEventsPerSec is the same event load on one bare
+		// kernel, and CoordinationRatio is the 1-worker group's
+		// throughput relative to it — the quantum protocol's overhead,
+		// measured interleaved in the same run so the CI gate can
+		// compare it against the committed baseline without
+		// cross-machine (or cross-minute) noise. Each rep times group
+		// then bare back to back; the ratio is the median over reps.
+		PlainKernelEventsPerSec float64 `json:"plain_kernel_events_per_sec"`
+		CoordinationRatio       float64 `json:"coordination_ratio"`
+		Points                  []point `json:"points"`
+	}{Shards: benchShards, NumCPU: runtime.NumCPU()}
+
+	// Warm-up pass.
+	func() {
+		g := newBenchGroup(1)
+		defer g.Close()
+		shardChurn(g, n/10)
+	}()
+	plainChurn(n / 10)
+	var base float64
+	var coordRatios []float64
+	for _, workers := range workerCounts {
+		// Best of three: the CI regression gate compares events/sec
+		// ratios against a committed baseline, and on a shared runner a
+		// single sample carries enough scheduler noise to trip a 20%
+		// threshold. The fastest run is the least-perturbed measurement
+		// of the same deterministic work.
+		var eps float64
+		var events, quanta, crossMsgs, idle uint64
+		for rep := 0; rep < 3; rep++ {
+			g := newBenchGroup(workers)
+			start := time.Now()
+			ev := shardChurn(g, n)
+			v := float64(ev) / time.Since(start).Seconds()
+			if v > eps {
+				eps = v
+			}
+			events = ev
+			quanta = g.Quanta()
+			crossMsgs = g.CrossMessages()
+			idle = 0
+			for _, q := range g.IdleQuanta() {
+				idle += q
+			}
+			g.Close()
+			if workers == 1 {
+				start = time.Now()
+				pn := plainChurn(n)
+				pv := float64(pn) / time.Since(start).Seconds()
+				if pv > out.PlainKernelEventsPerSec {
+					out.PlainKernelEventsPerSec = pv
+				}
+				coordRatios = append(coordRatios, v/pv)
+			}
+		}
+		if workers == 1 {
+			base = eps
+			out.Events = events
+			out.Quanta = quanta
+			out.CrossMessages = crossMsgs
+			sort.Float64s(coordRatios)
+			out.CoordinationRatio = coordRatios[len(coordRatios)/2]
+		}
+		out.Points = append(out.Points, point{
+			Workers: workers, EventsPerSec: eps, Speedup: eps / base, IdleQuanta: idle,
+		})
+		t.Logf("workers=%d: %.2fM ev/s (%.2fx)", workers, eps/1e6, eps/base)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -251,6 +251,14 @@ func (k *Kernel) Run() {
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // exactly t. Events scheduled for later instants remain queued.
+//
+// If Stop is called (by an event handler, or before RunUntil), execution
+// halts where it stands: remaining events — including ones due at or
+// before t — stay queued and never fire, and the clock is NOT advanced
+// to t; it stays at the last fired event's time. A later RunUntil on a
+// stopped kernel is a no-op. The shard coordinator
+// (internal/sim/shard.Group) relies on exactly these semantics to keep
+// a stop deterministic across worker counts; see Group.RunUntil.
 func (k *Kernel) RunUntil(t Time) {
 	for !k.stopped {
 		ev := k.peek()
@@ -264,8 +272,43 @@ func (k *Kernel) RunUntil(t Time) {
 	}
 }
 
+// RunBefore executes events with timestamps strictly before t. Unlike
+// RunUntil it neither fires events at exactly t nor advances the clock
+// to t: the clock is left at the last fired event's time. It is the
+// quantum step of the shard coordinator — a shard may safely execute
+// everything below the synchronization horizon, but the horizon itself
+// belongs to the next quantum.
+func (k *Kernel) RunBefore(t Time) {
+	for !k.stopped {
+		ev := k.peek()
+		if ev == nil || ev.at >= t {
+			break
+		}
+		k.Step()
+	}
+}
+
+// NextAt reports the timestamp of the earliest pending event. ok is
+// false when the queue is empty (cancelled events awaiting reaping do
+// not count). The shard coordinator uses it to compute the global
+// lower bound across shards.
+func (k *Kernel) NextAt() (at Time, ok bool) {
+	ev := k.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // Stop halts the simulation: no further events fire. Pending events remain
 // queued but are never executed.
+//
+// Stop is single-kernel: under the shard coordinator, an event handler
+// may only stop its own shard's kernel. The coordinator observes the
+// stop at the next quantum barrier; peers complete the full current
+// quantum (they exchange no state mid-quantum, so the outcome is
+// identical at any worker count) and the group then halts with every
+// remaining event unfired. See internal/sim/shard.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Stopped reports whether Stop has been called.

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh CI measurements vs committed baselines.
+
+Usage: bench_gate.py <ci_kernel.json> <ci_shard.json>
+
+Compares the freshly measured BENCH_kernel/BENCH_shard artifacts against
+the committed BENCH_kernel.json / BENCH_shard.json at the repo root.
+Absolute events/sec is machine-dependent, so the gate checks the
+machine-independent quantities instead:
+
+  - the timing wheel's speedup over the heap baseline (median of
+    interleaved reps, so runner noise hits both engines equally);
+  - the shard coordinator's throughput relative to a bare kernel running
+    the same load in the same process (coordination_ratio, also a median
+    of interleaved reps);
+  - the sharded bench's deterministic event accounting (event, quantum,
+    cross-message and idle-quanta counts), which must match the baseline
+    exactly — any drift is a determinism regression, not noise.
+
+A ratio more than 20% below its baseline fails. Refresh the committed
+baselines deliberately (rerun the TestWrite*BenchJSON hooks) when the
+kernels genuinely change.
+"""
+import json
+import sys
+
+FLOOR = 0.8  # fail on >20% regression
+
+
+def gate(name, got, want):
+    print(f"{name}: {got:.3f} (baseline {want:.3f}, floor {FLOOR * want:.3f})")
+    if got < FLOOR * want:
+        sys.exit(f"FAIL: {name} regressed >20%: {got:.3f} < {FLOOR:.1f}*{want:.3f}")
+
+
+def main():
+    ci_kernel_path, ci_shard_path = sys.argv[1], sys.argv[2]
+    base_k = json.load(open("BENCH_kernel.json"))
+    base_s = json.load(open("BENCH_shard.json"))
+    ci_k = json.load(open(ci_kernel_path))
+    ci_s = json.load(open(ci_shard_path))
+
+    gate("wheel-vs-heap speedup", ci_k["speedup"], base_k["speedup"])
+    gate("shard coordination ratio", ci_s["coordination_ratio"],
+         base_s["coordination_ratio"])
+
+    for f in ("events", "shards", "quanta", "cross_messages"):
+        if ci_s[f] != base_s[f]:
+            sys.exit(f"FAIL: sharded bench determinism drift: "
+                     f"{f} {ci_s[f]} != baseline {base_s[f]}")
+    for p, bp in zip(ci_s["points"], base_s["points"]):
+        if p["idle_quanta_total"] != bp["idle_quanta_total"]:
+            sys.exit(f"FAIL: idle quanta drift at workers={p['workers']}: "
+                     f"{p['idle_quanta_total']} != {bp['idle_quanta_total']}")
+    print("bench gate passed")
+
+
+if __name__ == "__main__":
+    main()
