@@ -48,6 +48,7 @@ func run(args []string) int {
 		par        = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent cluster runs per experiment sweep (output is identical at any value)")
 		shards     = fs.Int("shards", 0, "partition each cluster onto this many shard kernels (0/1 = single kernel; changes output like -scale does)")
 		shardWork  = fs.Int("shard-workers", 0, "worker pool driving the shard kernels (0 = GOMAXPROCS; output is identical at any value)")
+		sanitize   = fs.Bool("sanitize", false, "enable runtime invariant checks (token conservation, pool floor, event order; output is identical, violations fail the run)")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
 		traceOut   = fs.String("trace", "", "write per-I/O spans as Chrome trace_event JSON (open in Perfetto); multi-run experiments get -NN suffixes")
 		traceSpans = fs.Int("trace-spans", 10000, "span ring capacity for -trace (histograms always cover every span)")
@@ -87,6 +88,7 @@ func run(args []string) int {
 	opts.Parallel = *par
 	opts.Shards = *shards
 	opts.ShardWorkers = *shardWork
+	opts.Sanitize = *sanitize
 
 	exp := &exporter{traceOut: *traceOut, metricsOut: *metricsOut}
 	if *traceOut != "" || *metricsOut != "" {

@@ -3,23 +3,30 @@
 //
 // Usage:
 //
-//	haechilint [package patterns]
-//	haechilint -scope
+//	haechilint [-json] [package patterns]
+//	haechilint -scope [-json]
 //
 // Patterns are module-relative directories; `dir/...` matches a subtree
 // and `./...` (the default) analyzes every package. The whole module is
-// always loaded — patterns only select which packages are reported on.
+// always loaded and analyzed — the interprocedural analyzers need every
+// package — and patterns only select which packages are reported on.
 // -scope prints each shipped rule's include/exclude scope (the standing
-// waivers) without analyzing anything.
+// waivers) without analyzing anything; with -json it emits the waiver
+// inventory that CI diffs against the committed lint_waivers.json.
+// -json renders diagnostics as a sorted JSON array with module-relative
+// file paths.
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on
 // load or usage errors.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/haechi-qos/haechi/internal/lint"
@@ -30,8 +37,22 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
-	if len(args) == 1 && args[0] == "-scope" {
-		printScopes(stdout)
+	fs := flag.NewFlagSet("haechilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scope := fs.Bool("scope", false, "print each rule's include/exclude scope and exit")
+	jsonOut := fs.Bool("json", false, "machine-readable JSON output (diagnostics, or the waiver inventory with -scope)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scope {
+		if *jsonOut {
+			if err := writeScopesJSON(stdout); err != nil {
+				fmt.Fprintln(stderr, "haechilint:", err)
+				return 2
+			}
+		} else {
+			printScopes(stdout)
+		}
 		return 0
 	}
 	root, err := lint.FindModuleRoot(".")
@@ -45,14 +66,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "haechilint:", err)
 		return 2
 	}
-	selected, err := filterPackages(pkgs, args)
-	if err != nil {
-		fmt.Fprintln(stderr, "haechilint:", err)
-		return 2
+	diags := lint.Run(pkgs, lint.DefaultRules())
+	if patterns := fs.Args(); len(patterns) > 0 {
+		selected, err := filterPackages(pkgs, patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, "haechilint:", err)
+			return 2
+		}
+		keep := make(map[string]bool, len(selected))
+		for _, p := range selected {
+			keep[p.Rel] = true
+		}
+		var kept []lint.Diagnostic
+		for _, d := range diags {
+			// Module-level diagnostics (waiverdrift, allowlist audits)
+			// carry Pkg "." and are reported when the root matches.
+			if keep[d.Pkg] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
 	}
-	diags := lint.Run(selected, lint.DefaultRules())
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		if err := writeDiagsJSON(stdout, root, diags); err != nil {
+			fmt.Fprintln(stderr, "haechilint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "haechilint: %d issue(s)\n", len(diags))
@@ -75,6 +118,61 @@ func printScopes(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-15s %s\n", r.Analyzer.Name, scope)
 	}
+}
+
+// ruleScope is one entry of the JSON waiver inventory. Include/Exclude
+// are never null so the committed lint_waivers.json diffs cleanly.
+type ruleScope struct {
+	Analyzer string   `json:"analyzer"`
+	Include  []string `json:"include"`
+	Exclude  []string `json:"exclude"`
+}
+
+func writeScopesJSON(w io.Writer) error {
+	scopes := make([]ruleScope, 0, len(lint.DefaultRules()))
+	for _, r := range lint.DefaultRules() {
+		s := ruleScope{Analyzer: r.Analyzer.Name, Include: []string{}, Exclude: []string{}}
+		s.Include = append(s.Include, r.Include...)
+		s.Exclude = append(s.Exclude, r.Exclude...)
+		scopes = append(scopes, s)
+	}
+	return writeJSON(w, scopes)
+}
+
+// jsonDiag is the machine-readable diagnostic form: file paths are
+// module-relative (synthetic positions like "(waivers)" pass through).
+type jsonDiag struct {
+	Pkg      string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeDiagsJSON(w io.Writer, root string, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonDiag{
+			Pkg:      d.Pkg,
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return writeJSON(w, out)
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // filterPackages selects the packages matching the command-line

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/haechi-qos/haechi/internal/lint"
 )
 
 // chdir switches the working directory for one test.
@@ -38,7 +41,11 @@ func TestCleanTree(t *testing.T) {
 }
 
 // TestSeededViolations: on the broken fixture module the tool exits
-// non-zero and reports correct file:line diagnostics.
+// non-zero and reports correct file:line diagnostics. Running the
+// shipped rule set against a foreign module also makes every DefaultRules
+// waiver dead (none of the waived packages exist there), so waiverdrift
+// reports all six standing excludes first — doubling as the pin on its
+// output format and on the (file, line, col, analyzer, message) order.
 func TestSeededViolations(t *testing.T) {
 	chdir(t, filepath.Join("testdata", "brokenmod"))
 	var stdout, stderr bytes.Buffer
@@ -48,10 +55,16 @@ func TestSeededViolations(t *testing.T) {
 	}
 	out := stdout.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d diagnostics, want 2:\n%s", len(lines), out)
+	if len(lines) != 8 {
+		t.Fatalf("got %d diagnostics, want 8:\n%s", len(lines), out)
 	}
 	wantFrags := [][]string{
+		{"(waivers):1:1", "waiverdrift", `noconcurrency waiver "cmd/haechibench" matches no package`},
+		{"(waivers):1:1", "waiverdrift", `noconcurrency waiver "internal/parallel" matches no package`},
+		{"(waivers):1:1", "waiverdrift", `parallelimport waiver "internal/cluster" matches no package`},
+		{"(waivers):1:1", "waiverdrift", `parallelimport waiver "internal/experiments" matches no package`},
+		{"(waivers):1:1", "waiverdrift", `parallelimport waiver "internal/sim/shard" matches no package`},
+		{"(waivers):1:1", "waiverdrift", `walltime waiver "cmd/haechibench" matches no package`},
 		{filepath.Join("internal", "core", "acc.go") + ":8:2", "maporder", "accumulates floating-point values"},
 		{filepath.Join("internal", "sim", "clock.go") + ":8:27", "walltime", "time.Now"},
 	}
@@ -62,7 +75,7 @@ func TestSeededViolations(t *testing.T) {
 			}
 		}
 	}
-	if !strings.Contains(stderr.String(), "2 issue(s)") {
+	if !strings.Contains(stderr.String(), "8 issue(s)") {
 		t.Errorf("stderr = %q, want issue count", stderr.String())
 	}
 }
@@ -92,7 +105,10 @@ func TestPatternFilter(t *testing.T) {
 func TestFlightFixtureClean(t *testing.T) {
 	chdir(t, filepath.Join("testdata", "flightmod"))
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, &stdout, &stderr); code != 0 {
+	// internal/... scopes reporting to the fixture's packages; the
+	// DefaultRules waivers reference packages of the home module, so the
+	// module-level waiverdrift audit does not apply to a foreign fixture.
+	if code := run([]string{"internal/..."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
 	}
 	if stdout.Len() != 0 {
@@ -130,7 +146,8 @@ func TestMatchPattern(t *testing.T) {
 func TestWheelFixtureClean(t *testing.T) {
 	chdir(t, filepath.Join("testdata", "wheelmod"))
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, &stdout, &stderr); code != 0 {
+	// See TestFlightFixtureClean for why reporting is scoped to internal/...
+	if code := run([]string{"internal/..."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
 	}
 	if stdout.Len() != 0 {
@@ -148,8 +165,8 @@ func TestScopeFlag(t *testing.T) {
 		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
 	}
 	out := stdout.String()
-	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 6 {
-		t.Errorf("want 6 scope lines, got %d:\n%s", got, out)
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 9 {
+		t.Errorf("want 9 scope lines, got %d:\n%s", got, out)
 	}
 	want := "noconcurrency   all packages; exclude internal/parallel, cmd/haechibench"
 	if !strings.Contains(out, want) {
@@ -158,5 +175,95 @@ func TestScopeFlag(t *testing.T) {
 	want = "parallelimport  all packages; exclude internal/experiments, internal/cluster, internal/sim/shard"
 	if !strings.Contains(out, want) {
 		t.Errorf("scope output missing %q:\n%s", want, out)
+	}
+}
+
+// TestJSONOutput: -json renders the brokenmod diagnostics as a sorted
+// JSON array with module-relative paths and the same exit status.
+func TestJSONOutput(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "brokenmod"))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var diags []struct {
+		Pkg      string `json:"package"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 8 {
+		t.Fatalf("got %d diagnostics, want 8:\n%s", len(diags), stdout.String())
+	}
+	// The six waiverdrift findings sort first ("(waivers)" < any path).
+	for i := 0; i < 6; i++ {
+		if diags[i].Analyzer != "waiverdrift" || diags[i].File != "(waivers)" || diags[i].Pkg != "." {
+			t.Errorf("diag %d = %+v, want a waiverdrift module-level finding", i, diags[i])
+		}
+	}
+	if d := diags[6]; d.Analyzer != "maporder" || d.File != "internal/core/acc.go" || d.Line != 8 || d.Col != 2 || d.Pkg != "internal/core" {
+		t.Errorf("diag 6 = %+v, want maporder at internal/core/acc.go:8:2", d)
+	}
+	if d := diags[7]; d.Analyzer != "walltime" || d.File != "internal/sim/clock.go" || d.Line != 8 {
+		t.Errorf("diag 7 = %+v, want walltime at internal/sim/clock.go:8", d)
+	}
+}
+
+// TestJSONOutputClean: a clean selection emits an empty JSON array, not
+// empty output, so downstream tooling can always json.Unmarshal.
+func TestJSONOutputClean(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "wheelmod"))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "internal/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestWaiverInventoryCommitted: `haechilint -scope -json` must equal the
+// committed lint_waivers.json byte for byte — adding, widening, or
+// dropping a waiver requires an explicit commit to that file (CI diffs
+// the same pair).
+func TestWaiverInventoryCommitted(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scope", "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	committed, err := os.ReadFile(filepath.Join("..", "..", "lint_waivers.json"))
+	if err != nil {
+		t.Fatalf("reading committed inventory: %v", err)
+	}
+	if stdout.String() != string(committed) {
+		t.Errorf("waiver inventory drifted from lint_waivers.json; regenerate it with "+
+			"`go run ./cmd/haechilint -scope -json > lint_waivers.json`\ngot:\n%s\ncommitted:\n%s",
+			stdout.String(), committed)
+	}
+}
+
+// TestFixtureModulesTypeCheck: every fixture module under testdata must
+// still load and type-check through the same loader the CLI uses.
+func TestFixtureModulesTypeCheck(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		root, err := filepath.Abs(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lint.NewLoader().LoadModule(root); err != nil {
+			t.Errorf("fixture module %s does not type-check: %v", e.Name(), err)
+		}
 	}
 }

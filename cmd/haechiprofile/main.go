@@ -31,6 +31,7 @@ func run(args []string) int {
 		par     = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent kernels for sharded profiling (never changes the result)")
 		clShard = fs.Int("cluster-shards", 0, "shard kernels inside each profiled cluster (0/1 = single kernel; part of the result, unlike -shard-workers)")
 		clWork  = fs.Int("shard-workers", 0, "worker pool driving the cluster shard kernels (0 = GOMAXPROCS; never changes the result)")
+		san     = fs.Bool("sanitize", false, "enable runtime invariant checks (never changes the result; violations fail the run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -43,6 +44,7 @@ func run(args []string) int {
 	cfg.Records = 1 << 11
 	cfg.Shards = *clShard
 	cfg.ShardWorkers = *clWork
+	cfg.Sanitize = *san
 
 	prof, err := cluster.ProfileCapacitySharded(cfg, *clients, *periods, *shards, *par)
 	if err != nil {

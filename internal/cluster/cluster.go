@@ -9,6 +9,7 @@ import (
 	"github.com/haechi-qos/haechi/internal/kvstore"
 	"github.com/haechi-qos/haechi/internal/metrics"
 	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/sanitize"
 	"github.com/haechi-qos/haechi/internal/sim"
 	"github.com/haechi-qos/haechi/internal/sim/shard"
 	"github.com/haechi-qos/haechi/internal/trace"
@@ -59,6 +60,13 @@ type Cluster struct {
 	// cfg.Observe enables them); see observe.go.
 	flight   *trace.FlightRecorder
 	registry *metrics.Registry
+
+	// san holds one invariant checker per shard (one entry total on the
+	// single-kernel path), nil unless cfg.Sanitize. Per-shard checkers
+	// keep the sanitizer lock-free: shards run concurrently but each
+	// checker is only touched by its own shard's events, and the
+	// checkers merge in shard order after the run.
+	san []*sanitize.Checker
 }
 
 // New assembles a cluster for the given tenant specs. In QoS modes every
@@ -145,6 +153,23 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 		group:   group,
 	}
 
+	if cfg.Sanitize {
+		ks := kernels
+		if ks == nil {
+			ks = []*sim.Kernel{k}
+		}
+		c.san = make([]*sanitize.Checker, len(ks))
+		for s, sk := range ks {
+			c.san[s] = sanitize.New()
+			armEventOrder(sk, s, c.san[s])
+		}
+		if group != nil {
+			// inject runs on the coordinating goroutine between quanta;
+			// the pool barrier orders it against shard 0's quantum work.
+			group.SetSanitizer(c.san[0])
+		}
+	}
+
 	if cfg.Mode != Bare {
 		est, err := core.NewCapacityEstimator(cfg.Params, cfg.ProfiledCapacity, cfg.Sigma)
 		if err != nil {
@@ -165,6 +190,7 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.monitor.SetSanitizer(c.sanFor(0))
 	}
 
 	for i, spec := range specs {
@@ -265,6 +291,7 @@ func (c *Cluster) addClient(i int, spec ClientSpec) error {
 			return err
 		}
 		rt.Engine = engine
+		engine.SetSanitizer(c.sanFor(node.Shard()))
 		submit = engine.Request
 	}
 
@@ -339,8 +366,59 @@ func (c *Cluster) AddBackgroundJob(name string, window int) (*rdma.BackgroundJob
 	if err != nil {
 		return nil, err
 	}
+	// Background initiators share the data node's shard (see New).
+	job.SetSanitizer(c.sanFor(0))
 	c.bgJobs[name] = job
 	return job, nil
+}
+
+// sanFor returns shard s's invariant checker, or nil when sanitizing is
+// off (component hooks treat nil as disabled).
+func (c *Cluster) sanFor(s int) *sanitize.Checker {
+	if c.san == nil {
+		return nil
+	}
+	if s < 0 || s >= len(c.san) {
+		s = 0
+	}
+	return c.san[s]
+}
+
+// sanErr merges the per-shard checkers in shard order and summarizes
+// any violations; nil when sanitizing is off or the run was clean.
+func (c *Cluster) sanErr() error {
+	if c.san == nil {
+		return nil
+	}
+	return sanitize.Merge(c.san...).Err()
+}
+
+// SanitizeViolations returns the invariant violations recorded so far
+// (shard order), empty when sanitizing is off or the run was clean.
+func (c *Cluster) SanitizeViolations() []sanitize.Violation {
+	if c.san == nil {
+		return nil
+	}
+	return sanitize.Merge(c.san...).Violations()
+}
+
+// armEventOrder installs the (at, seq) monotonicity probe on one shard
+// kernel: the timing wheel must pop events in strictly increasing
+// lexicographic order. The closure owns its own state (one probe per
+// kernel) and builds no arguments unless the invariant breaks.
+func armEventOrder(k *sim.Kernel, shard int, san *sanitize.Checker) {
+	var seen bool
+	var lastAt sim.Time
+	var lastSeq uint64
+	k.SetEventCheck(func(at sim.Time, seq uint64) {
+		if seen && (at < lastAt || (at == lastAt && seq <= lastSeq)) {
+			san.Reportf("kernel-order", int64(at),
+				"shard %d: event (at=%v, seq=%d) fired after (at=%v, seq=%d)",
+				shard, at, seq, lastAt, lastSeq)
+		}
+		seen = true
+		lastAt, lastSeq = at, seq
+	})
 }
 
 // At schedules fn at absolute virtual time t (e.g. congestion onset).

@@ -108,6 +108,15 @@ type Config struct {
 	// Observe enables the observability layer (flight-recorder spans
 	// and metrics sampling); nil disables it. See Observe.
 	Observe *Observe
+	// Sanitize enables the runtime invariant sanitizer
+	// (internal/sanitize): token conservation per engine period, the
+	// global-pool floor, admission headroom, per-kernel (at, seq) event
+	// monotonicity, shard mailbox ordering, and background-job window
+	// bounds. The checks are passive reads — a sanitized run is
+	// byte-identical to an unsanitized one (TestObservabilityInert) —
+	// and violations surface as an error from Run. Off (false), the
+	// hooks are nil and the hot path pays one pointer comparison.
+	Sanitize bool
 
 	// Shards partitions the cluster onto per-shard simulation kernels
 	// that advance concurrently under the conservative quantum protocol

@@ -56,13 +56,15 @@ func TestDeterminismByteIdentical(t *testing.T) {
 	}
 }
 
-// TestObservabilityInert proves the flight recorder and metrics sampler
-// observe without perturbing: the simulated outcome with observability
-// enabled is identical to the outcome without it. (The metrics ticker
-// does add kernel events, but pure samplers cannot shift any existing
-// event's time or order; span recording adds no events at all.)
+// TestObservabilityInert proves the flight recorder, the metrics
+// sampler, and the runtime invariant sanitizer observe without
+// perturbing: the simulated outcome with any of them enabled is
+// identical to the outcome without. (The metrics ticker does add kernel
+// events, but pure samplers cannot shift any existing event's time or
+// order; span recording adds no events at all; the sanitizer only reads
+// state the run already computes and schedules nothing.)
 func TestObservabilityInert(t *testing.T) {
-	run := func(observe bool) []byte {
+	run := func(observe, sanitize bool, shards int) []byte {
 		specs := make([]ClientSpec, 4)
 		for i := range specs {
 			specs[i] = ClientSpec{Reservation: 1200, Demand: ConstantDemand(1500)}
@@ -70,6 +72,8 @@ func TestObservabilityInert(t *testing.T) {
 		specs[3].Pattern = workload.Poisson{}
 		cfg := testConfig(Haechi)
 		cfg.Seed = 7
+		cfg.Sanitize = sanitize
+		cfg.Shards = shards
 		if observe {
 			cfg.Observe = &Observe{
 				FlightSpans:     1024,
@@ -84,6 +88,11 @@ func TestObservabilityInert(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if sanitize {
+			if v := cl.SanitizeViolations(); len(v) != 0 {
+				t.Fatalf("sanitized run reported violations: %v", v)
+			}
+		}
 		// Strip the observability payloads and the event count (the
 		// metrics ticker adds sampling events); everything else — every
 		// count, percentile and timeline — must match the blind run.
@@ -96,9 +105,18 @@ func TestObservabilityInert(t *testing.T) {
 		}
 		return b
 	}
-	blind, observed := run(false), run(true)
-	if !bytes.Equal(blind, observed) {
+	blind := run(false, false, 0)
+	if observed := run(true, false, 0); !bytes.Equal(blind, observed) {
 		reportDivergence(t, blind, observed)
+	}
+	if sanitized := run(false, true, 0); !bytes.Equal(blind, sanitized) {
+		reportDivergence(t, blind, sanitized)
+	}
+	// Sharded output differs from unsharded by design; compare the
+	// sharded run against its own sanitized twin instead.
+	shardedBlind := run(false, false, 3)
+	if sanitized := run(false, true, 3); !bytes.Equal(shardedBlind, sanitized) {
+		reportDivergence(t, shardedBlind, sanitized)
 	}
 }
 

@@ -92,5 +92,7 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 	if ob := c.cfg.Observe; ob != nil && ob.OnResults != nil {
 		ob.OnResults(res)
 	}
-	return res, nil
+	// A sanitized run that broke an invariant fails loudly; the results
+	// are returned alongside so diagnostics can still inspect them.
+	return res, c.sanErr()
 }

@@ -141,7 +141,8 @@ func (c *Cluster) runSharded(warmupPeriods, measurePeriods int) (*Results, error
 	if ob := c.cfg.Observe; ob != nil && ob.OnResults != nil {
 		ob.OnResults(res)
 	}
-	return res, nil
+	// See Run: a sanitized run that broke an invariant fails loudly.
+	return res, c.sanErr()
 }
 
 // shardingReport assembles the Results entry for a sharded run.

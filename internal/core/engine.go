@@ -5,6 +5,7 @@ import (
 
 	"github.com/haechi-qos/haechi/internal/metrics"
 	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/sanitize"
 	"github.com/haechi-qos/haechi/internal/sim"
 	"github.com/haechi-qos/haechi/internal/trace"
 )
@@ -98,6 +99,14 @@ type Engine struct {
 	// Trace, when non-nil, records protocol events (claims, probes,
 	// yields, reports, throttling).
 	Trace *trace.Recorder
+
+	// san, when non-nil, checks token conservation at every period
+	// rollover (internal/sanitize). periodYielded tracks reservation
+	// tokens yielded within the current period so the per-period
+	// identity resUsed + resTokens + periodYielded == reservation stays
+	// exact (tokensYielded is cumulative across periods).
+	san           *sanitize.Checker
+	periodYielded int64
 
 	// Counters.
 	totalCompleted  uint64
@@ -393,6 +402,7 @@ func (e *Engine) onTick() {
 	if xi := int64(e.x); e.resTokens > xi {
 		y := e.resTokens - xi
 		e.tokensYielded += y
+		e.periodYielded += y
 		e.resTokens = xi
 		returned := int64(0)
 		if e.convert {
@@ -435,6 +445,25 @@ func (e *Engine) report() {
 // actor names the engine in trace events.
 func (e *Engine) actor() string { return fmt.Sprintf("engine-%d", e.id) }
 
+// SetSanitizer installs the invariant checker consulted at each period
+// rollover. Nil (the default) disables the checks; the event path then
+// pays one pointer comparison per period and nothing else.
+func (e *Engine) SetSanitizer(c *sanitize.Checker) { e.san = c }
+
+// DebugDropReservationTokens silently discards up to n reservation
+// tokens without recording them as used or yielded — a deliberate break
+// of the conservation identity. It exists only so the sanitizer
+// regression test can prove a real token leak is caught; nothing in the
+// protocol calls it.
+func (e *Engine) DebugDropReservationTokens(n int64) {
+	if n > e.resTokens {
+		n = e.resTokens
+	}
+	if n > 0 {
+		e.resTokens -= n
+	}
+}
+
 func (e *Engine) handlePeriodStart(_ *rdma.Node, body any) {
 	m, ok := body.(periodStartMsg)
 	if !ok || e.crashed {
@@ -442,6 +471,21 @@ func (e *Engine) handlePeriodStart(_ *rdma.Node, body any) {
 	}
 	if e.periodIndex > 0 {
 		e.PeriodLog.Observe(uint64(e.completed))
+		if e.san != nil {
+			// Token conservation for the finished period (pre-reset values):
+			// every reservation token was either spent on an admitted I/O,
+			// yielded by the X-counter decay, or is still held.
+			if e.resUsed+e.resTokens+e.periodYielded != e.reservation {
+				e.san.Reportf("token-conservation", int64(e.k.Now()),
+					"engine-%d period %d: used %d + held %d + yielded %d != reservation %d",
+					e.id, e.periodIndex, e.resUsed, e.resTokens, e.periodYielded, e.reservation)
+			}
+			if e.resTokens < 0 || e.localGlobal < 0 {
+				e.san.Reportf("token-conservation", int64(e.k.Now()),
+					"engine-%d period %d: negative token balance (reservation %d, global %d)",
+					e.id, e.periodIndex, e.resTokens, e.localGlobal)
+			}
+		}
 	}
 	e.periodIndex = m.Index
 	e.periodEnd = sim.Time(m.EndAt)
@@ -453,6 +497,7 @@ func (e *Engine) handlePeriodStart(_ *rdma.Node, body any) {
 	e.poolExhausted = false
 	e.dispatched = 0
 	e.resUsed = 0
+	e.periodYielded = 0
 	e.completed = 0
 	e.reporting = false
 	if e.reportTicker != nil {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/haechi-qos/haechi/internal/metrics"
 	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/sanitize"
 	"github.com/haechi-qos/haechi/internal/sim"
 	"github.com/haechi-qos/haechi/internal/trace"
 )
@@ -105,7 +106,15 @@ type Monitor struct {
 
 	// Trace, when non-nil, records protocol events.
 	Trace *trace.Recorder
+
+	// san, when non-nil, checks the pool floor and admission headroom
+	// invariants (internal/sanitize). Nil in production runs.
+	san *sanitize.Checker
 }
+
+// SetSanitizer installs the invariant checker consulted at period starts
+// and pool samples. Nil (the default) disables the checks.
+func (m *Monitor) SetSanitizer(c *sanitize.Checker) { m.san = c }
 
 // DebugConversion enables conversion tracing (diagnostics only).
 var DebugConversion = false
@@ -256,6 +265,20 @@ func (m *Monitor) startPeriod() {
 		m.initialGlobal = 0
 	}
 	m.reporting = false
+	if m.san != nil {
+		// Reservation floor under admission: the controller must never
+		// admit more reservation than the capacity it believes in, and the
+		// per-period budget split must stay non-negative.
+		if h := m.adm.Headroom(); h < 0 {
+			m.san.Reportf("reservation-floor", int64(m.k.Now()),
+				"period %d: admission headroom %d < 0", m.periodIndex, h)
+		}
+		if m.sumRes < 0 || m.initialGlobal < 0 {
+			m.san.Reportf("reservation-floor", int64(m.k.Now()),
+				"period %d: negative budget split (sumRes %d, initialGlobal %d)",
+				m.periodIndex, m.sumRes, m.initialGlobal)
+		}
+	}
 	m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.PeriodStart, Actor: "monitor",
 		A: int64(m.periodIndex), B: m.omega})
 
@@ -304,6 +327,16 @@ func (m *Monitor) check() {
 	_ = m.loop.FetchAdd(m.region, globalTokenOff, 0, func(old int64) {
 		if pi != m.periodIndex || !m.running {
 			return
+		}
+		if m.san != nil {
+			// Global-pool floor: each client can have at most one claim of
+			// -Batch in flight, so the cell can never sink below
+			// -(clients × Batch).
+			if floor := -int64(len(m.clients)) * m.params.Batch; old < floor {
+				m.san.Reportf("pool-floor", int64(m.k.Now()),
+					"period %d: pool %d below floor %d (%d clients, batch %d)",
+					pi, old, floor, len(m.clients), m.params.Batch)
+			}
 		}
 		if !m.reporting && old < m.initialGlobal {
 			m.reporting = true

@@ -49,6 +49,11 @@ type Options struct {
 	// cluster.Config.ShardWorkers). Pure concurrency — output is
 	// identical at any value.
 	ShardWorkers int
+	// Sanitize enables the runtime invariant sanitizer on every cluster
+	// the experiment constructs (see cluster.Config.Sanitize). The
+	// checks are passive: results are byte-identical with it on or off,
+	// but an invariant breach fails the run.
+	Sanitize bool
 }
 
 // NewDefaultOptions returns the fast defaults.
@@ -131,6 +136,7 @@ func (o Options) baseConfig(mode cluster.Mode) cluster.Config {
 	cfg.Observe = o.Observe
 	cfg.Shards = o.Shards
 	cfg.ShardWorkers = o.ShardWorkers
+	cfg.Sanitize = o.Sanitize
 	return cfg
 }
 

@@ -162,8 +162,18 @@ func TestDefaultRulesWaivers(t *testing.T) {
 	for _, r := range lint.DefaultRules() {
 		byName[r.Analyzer.Name] = r
 	}
-	if len(byName) != 6 {
-		t.Fatalf("expected 6 default rules, got %d", len(byName))
+	if len(byName) != 9 {
+		t.Fatalf("expected 9 default rules, got %d", len(byName))
+	}
+	for _, name := range []string{"sharedwrite", "timetaint", "waiverdrift"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing default rule for %s", name)
+		}
+		if len(r.Include) != 0 || len(r.Exclude) != 0 {
+			t.Errorf("%s must run module-wide with no waivers (include %v exclude %v)",
+				name, r.Include, r.Exclude)
+		}
 	}
 	if byName["walltime"].Applies("cmd/haechibench") {
 		t.Error("walltime must waive cmd/haechibench (it measures real tool runtime)")

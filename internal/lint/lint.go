@@ -9,7 +9,8 @@
 // this package turns the contract into a machine-checked invariant.
 //
 // The suite is stdlib-only (go/parser, go/ast, go/types); it adds no
-// module dependencies and runs offline. Six analyzers ship by default:
+// module dependencies and runs offline. Nine analyzers ship by default.
+// Six are per-file syntactic checks:
 //
 //   - walltime: wall-clock time is forbidden; simulated time comes from
 //     the sim.Kernel clock.
@@ -26,6 +27,20 @@
 //     exempt).
 //   - parallelimport: internal/parallel (the worker pool) may only be
 //     imported by the documented orchestration waivers.
+//
+// Three are whole-module interprocedural checks built on a conservative
+// callgraph (DESIGN.md §10):
+//
+//   - sharedwrite: no write to package-level state from code reachable
+//     from parallel worker bodies or kernel event code, unless the
+//     variable carries a single-writer allowlist entry.
+//   - timetaint: no wall-clock / global-rand derived value may flow —
+//     through any number of calls, including waived packages — into
+//     kernel event scheduling (Kernel.Schedule/At/Every/RunUntil/
+//     RunBefore).
+//   - waiverdrift: every Exclude waiver in the active rule set must be
+//     live (match a package where the analyzer actually reports);
+//     dead or over-broad waivers are findings.
 package lint
 
 import (
@@ -42,6 +57,10 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Pkg is the module-relative path of the package the diagnostic is
+	// attributed to ("." for module-level findings such as waiverdrift).
+	// Pattern filtering in cmd/haechilint keys on it.
+	Pkg string
 }
 
 // String renders the conventional file:line:col form.
@@ -49,11 +68,17 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one check over a type-checked package.
+// Analyzer is one check over a type-checked package (Run) or over the
+// whole module at once (RunModule). Exactly one of the two is set.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Package) []Diagnostic
+	// RunModule runs once per lint invocation with every package loaded;
+	// interprocedural analyzers (sharedwrite, timetaint, waiverdrift)
+	// live here. Implementations must return diagnostics already sorted
+	// (SortDiagnostics) so output never depends on map iteration order.
+	RunModule func(*Module) []Diagnostic
 }
 
 // Package is a parsed and type-checked package ready for analysis.
@@ -75,6 +100,7 @@ func (p *Package) diag(analyzer string, pos token.Pos, format string, args ...an
 		Pos:      p.Fset.Position(pos),
 		Analyzer: analyzer,
 		Message:  fmt.Sprintf(format, args...),
+		Pkg:      p.Rel,
 	}
 }
 
@@ -183,6 +209,47 @@ var KernelPackages = []string{
 	"internal/trace",
 }
 
+// Module bundles every loaded package with the active rule set for the
+// whole-module analyzers. The callgraph is built on first use and shared
+// across analyzers.
+type Module struct {
+	// Packages is sorted by Rel (the loader's order).
+	Packages []*Package
+	// Rules is the rule set the run was invoked with; waiverdrift audits
+	// it.
+	Rules []Rule
+
+	graph   *Callgraph
+	pkgOf   map[*types.Package]*Package
+	pkgInit bool
+}
+
+// NewModule prepares pkgs for module-level analysis under rules.
+func NewModule(pkgs []*Package, rules []Rule) *Module {
+	return &Module{Packages: pkgs, Rules: rules}
+}
+
+// Graph returns the module callgraph, building it on first call.
+func (m *Module) Graph() *Callgraph {
+	if m.graph == nil {
+		m.graph = buildCallgraph(m.Packages)
+	}
+	return m.graph
+}
+
+// PackageOf maps a type-checker package back to the loaded *Package, or
+// nil for packages outside the module (stdlib).
+func (m *Module) PackageOf(tp *types.Package) *Package {
+	if !m.pkgInit {
+		m.pkgOf = make(map[*types.Package]*Package, len(m.Packages))
+		for _, p := range m.Packages {
+			m.pkgOf[p.Types] = p
+		}
+		m.pkgInit = true
+	}
+	return m.pkgOf[tp]
+}
+
 // DefaultRules is the shipped haechilint configuration. Scope waivers:
 //
 //   - walltime excludes cmd/haechibench: it measures the real runtime of
@@ -200,6 +267,12 @@ var KernelPackages = []string{
 //     internal/cluster (the profiling fan-out), and internal/sim/shard
 //     (the sharded-kernel coordinator, whose quantum protocol keeps
 //     results byte-identical at any worker count). See DESIGN.md §6.
+//
+// The three interprocedural analyzers (sharedwrite, timetaint,
+// waiverdrift) run module-wide with no waivers: sharedwrite's escape
+// hatch is its own allowlist (DESIGN.md §10), timetaint deliberately
+// sees through the walltime waiver, and waiverdrift audits this very
+// rule set.
 func DefaultRules() []Rule {
 	return []Rule{
 		{Analyzer: Walltime, Exclude: []string{"cmd/haechibench"}},
@@ -210,22 +283,41 @@ func DefaultRules() []Rule {
 		{Analyzer: Parallelimport, Exclude: []string{
 			"internal/experiments", "internal/cluster", "internal/sim/shard",
 		}},
+		{Analyzer: Sharedwrite},
+		{Analyzer: Timetaint},
+		{Analyzer: Waiverdrift},
 	}
 }
 
-// Analyzers returns the six shipped analyzers, unscoped.
+// Analyzers returns the nine shipped analyzers, unscoped.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Walltime, Globalrand, Maporder, Noconcurrency, Floateq, Parallelimport}
+	return []*Analyzer{
+		Walltime, Globalrand, Maporder, Noconcurrency, Floateq, Parallelimport,
+		Sharedwrite, Timetaint, Waiverdrift,
+	}
 }
 
 // Run applies every rule to every package it covers and returns the
-// diagnostics sorted by position.
+// diagnostics sorted by position. Per-package analyzers run on each
+// package their rule covers; module analyzers run once over everything
+// (they see waived packages too) and their diagnostics are then filtered
+// by rule scope on the attributed package.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	m := NewModule(pkgs, rules)
 	var out []Diagnostic
-	for _, p := range pkgs {
-		for _, r := range rules {
-			if r.Applies(p.Rel) {
-				out = append(out, r.Analyzer.Run(p)...)
+	for _, r := range rules {
+		switch {
+		case r.Analyzer.Run != nil:
+			for _, p := range pkgs {
+				if r.Applies(p.Rel) {
+					out = append(out, r.Analyzer.Run(p)...)
+				}
+			}
+		case r.Analyzer.RunModule != nil:
+			for _, d := range r.Analyzer.RunModule(m) {
+				if r.Applies(d.Pkg) {
+					out = append(out, d)
+				}
 			}
 		}
 	}
@@ -233,7 +325,9 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 	return out
 }
 
-// SortDiagnostics orders diagnostics by file, line, column, analyzer.
+// SortDiagnostics orders diagnostics by file, line, column, analyzer,
+// message — a total order, so output never depends on map iteration or
+// traversal order anywhere upstream.
 func SortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
@@ -246,6 +340,9 @@ func SortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }

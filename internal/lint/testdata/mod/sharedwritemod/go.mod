@@ -1,0 +1,3 @@
+module sharedwritemod
+
+go 1.22

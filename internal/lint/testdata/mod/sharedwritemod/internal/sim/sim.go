@@ -1,0 +1,11 @@
+// Package sim sits at a KernelPackages path: every function here is a
+// kernel-event root, so its package-level write is a finding even
+// though no worker references it.
+package sim
+
+// Clock is package-level kernel state with two potential writers once
+// kernels run on pool workers.
+var Clock int64
+
+// Advance is kernel event code writing package state.
+func Advance(d int64) { Clock += d }

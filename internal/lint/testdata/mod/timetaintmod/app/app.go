@@ -1,0 +1,29 @@
+// Package app launders tainted values into kernel scheduling: through
+// two function calls (jitter -> delay), out of a waived package
+// (waived.Stamp), via a helper that forwards a parameter to a sink
+// (post), and from a global-rand draw. The clean call keyed off the
+// kernel clock must stay silent.
+package app
+
+import (
+	"math/rand"
+
+	"timetaintmod/sim"
+	"timetaintmod/waived"
+)
+
+func jitter() int64 { return waived.Stamp() / 2 }
+
+func delay() sim.Time { return sim.Time(jitter()) }
+
+func spin() int64 { return rand.Int63() }
+
+// Arm schedules events; three of the four calls receive tainted times.
+func Arm(k *sim.Kernel) {
+	k.Schedule(delay(), func() {})
+	k.At(k.Now()+5, func() {})
+	post(k, delay())
+	k.Schedule(sim.Time(spin()%10), func() {})
+}
+
+func post(k *sim.Kernel, t sim.Time) { k.At(t, func() {}) }

@@ -1,0 +1,3 @@
+module timetaintmod
+
+go 1.22

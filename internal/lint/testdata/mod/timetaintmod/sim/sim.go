@@ -1,0 +1,18 @@
+// Package sim models the kernel's scheduling API surface: timetaint
+// matches sinks by method name on a receiver type named Kernel.
+package sim
+
+// Time is simulated time.
+type Time int64
+
+// Kernel is the fixture stand-in for the event kernel.
+type Kernel struct{ now Time }
+
+// Now returns the simulated clock (never tainted).
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule queues fn after d.
+func (k *Kernel) Schedule(d Time, fn func()) { _ = fn }
+
+// At queues fn at t.
+func (k *Kernel) At(t Time, fn func()) { _ = fn }

@@ -1,0 +1,10 @@
+// Package waived stands in for a package with a walltime waiver (like
+// cmd/haechibench): it may read the wall clock, but the value it leaks
+// through its API is still tainted — timetaint follows it across the
+// package boundary.
+package waived
+
+import "time"
+
+// Stamp leaks a wall-clock reading to callers.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,6 @@
+// Package clean produces no walltime findings: excluding it is
+// over-broad and waiverdrift must say so.
+package clean
+
+// Add is determinism-safe arithmetic.
+func Add(a, b int64) int64 { return a + b }

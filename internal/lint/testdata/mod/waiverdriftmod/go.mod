@@ -1,0 +1,3 @@
+module waiverdriftmod
+
+go 1.22

@@ -1,6 +1,10 @@
 package rdma
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/haechi-qos/haechi/internal/sanitize"
+)
 
 // BackgroundJob injects closed-loop one-sided 4 KB I/O load at a server
 // outside of any QoS control, reproducing the paper's Set-4 methodology:
@@ -28,6 +32,24 @@ type BackgroundJob struct {
 	onInitFn   func()
 	onArriveFn func()
 	onDoneFn   func()
+
+	// san, when non-nil, checks the closed-loop window bound
+	// 0 <= outstanding <= window (internal/sanitize).
+	san *sanitize.Checker
+}
+
+// SetSanitizer installs the invariant checker consulted after every
+// issue and completion. Nil (the default) disables the checks.
+func (b *BackgroundJob) SetSanitizer(c *sanitize.Checker) { b.san = c }
+
+// checkWindow asserts the closed-loop invariant. Callers nil-check san
+// first so the sanitize-off path costs one pointer comparison.
+func (b *BackgroundJob) checkWindow() {
+	if b.outstanding < 0 || b.outstanding > b.window {
+		b.san.Reportf("bg-window", int64(b.initiator.k.Now()),
+			"background job %s: outstanding %d outside [0, %d]",
+			b.initiator.name, b.outstanding, b.window)
+	}
 }
 
 // NewBackgroundJob creates a stopped job that keeps window one-sided reads
@@ -82,6 +104,9 @@ func (b *BackgroundJob) Completed() uint64 { return b.completed }
 
 func (b *BackgroundJob) issue() {
 	b.outstanding++
+	if b.san != nil {
+		b.checkWindow()
+	}
 	b.initiator.nic.SubmitWeighted(1, b.onInitFn)
 }
 
@@ -103,6 +128,9 @@ func (b *BackgroundJob) onArrive() {
 func (b *BackgroundJob) onDone() {
 	b.outstanding--
 	b.completed++
+	if b.san != nil {
+		b.checkWindow()
+	}
 	if b.running {
 		b.issue()
 	}

@@ -106,6 +106,63 @@ func BenchmarkKernelEventsHeapBaseline(b *testing.B) {
 	refChurn(newRefKernel(), b.N)
 }
 
+// installOrderProbe arms the kernel with the sanitizer's (at, seq)
+// monotonicity check, exactly as cluster.armEventOrder wires it: state
+// lives in the closure and the violation branch (never taken here)
+// builds no arguments.
+func installOrderProbe(k *Kernel) {
+	var seen bool
+	var lastAt Time
+	var lastSeq uint64
+	k.SetEventCheck(func(at Time, seq uint64) {
+		if seen && (at < lastAt || (at == lastAt && seq <= lastSeq)) {
+			panic("kernel event order violated")
+		}
+		seen = true
+		lastAt, lastSeq = at, seq
+	})
+}
+
+// BenchmarkKernelEventsSanitized measures the wheel with the sanitizer's
+// monotonicity probe installed — the only sanitizer hook on the kernel
+// hot path. The delta against BenchmarkKernelEvents is the full cost of
+// sanitizing the kernel; with sanitizing off the kernel pays a single
+// nil comparison per event instead (TestSanitizerHotPathNoAlloc pins
+// that neither path allocates).
+func BenchmarkKernelEventsSanitized(b *testing.B) {
+	b.ReportAllocs()
+	k := New(1)
+	installOrderProbe(k)
+	wheelChurn(k, b.N)
+}
+
+// TestSanitizerHotPathNoAlloc proves the sanitizer costs no allocations
+// on the event hot path: the schedule+fire cycle allocates nothing in
+// steady state whether the probe is absent (sanitize off — one nil
+// comparison) or installed and clean (the violation branch never builds
+// its arguments).
+func TestSanitizerHotPathNoAlloc(t *testing.T) {
+	measure := func(probe bool) float64 {
+		k := New(1)
+		if probe {
+			installOrderProbe(k)
+		}
+		// Warm the freelist so steady state is measured.
+		k.Schedule(1, nop)
+		k.Run()
+		return testing.AllocsPerRun(1000, func() {
+			k.Schedule(1, nop)
+			k.Step()
+		})
+	}
+	if got := measure(false); got != 0 {
+		t.Errorf("sanitize-off schedule+fire allocates %.1f per event, want 0", got)
+	}
+	if got := measure(true); got != 0 {
+		t.Errorf("sanitized schedule+fire allocates %.1f per event, want 0", got)
+	}
+}
+
 // BenchmarkKernelScheduleCancel isolates the schedule+cancel lifecycle:
 // no callbacks ever fire. Cancelled events are reaped lazily on pop, so
 // the loop periodically runs the kernel past the longest delay to cycle
@@ -143,8 +200,8 @@ func TestWriteKernelBenchJSON(t *testing.T) {
 	// both sides of a rep about equally), take each rep's ratio, and
 	// report the median ratio with each engine's peak throughput.
 	const reps = 5
-	var ratios []float64
-	var wheel, heap float64
+	var ratios, sanRatios []float64
+	var wheel, heap, sanitized float64
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
 		wheelChurn(New(1), n)
@@ -152,18 +209,32 @@ func TestWriteKernelBenchJSON(t *testing.T) {
 		start = time.Now()
 		refChurn(newRefKernel(), n)
 		h := float64(n) / time.Since(start).Seconds()
+		// The sanitized wheel interleaves with the plain one for the same
+		// noise-robustness; its ratio to the plain wheel is the probe's
+		// overhead (sanitize OFF is the plain wheel itself — the off
+		// path's only cost is Step's nil comparison).
+		sk := New(1)
+		installOrderProbe(sk)
+		start = time.Now()
+		wheelChurn(sk, n)
+		s := float64(n) / time.Since(start).Seconds()
 		wheel = math.Max(wheel, w)
 		heap = math.Max(heap, h)
+		sanitized = math.Max(sanitized, s)
 		ratios = append(ratios, w/h)
+		sanRatios = append(sanRatios, w/s)
 	}
 	sort.Float64s(ratios)
+	sort.Float64s(sanRatios)
 	speedup := ratios[reps/2]
 	out := struct {
-		Events            int     `json:"events"`
-		WheelEventsPerSec float64 `json:"wheel_events_per_sec"`
-		HeapEventsPerSec  float64 `json:"heap_events_per_sec"`
-		Speedup           float64 `json:"speedup"`
-	}{n, wheel, heap, speedup}
+		Events                int     `json:"events"`
+		WheelEventsPerSec     float64 `json:"wheel_events_per_sec"`
+		HeapEventsPerSec      float64 `json:"heap_events_per_sec"`
+		Speedup               float64 `json:"speedup"`
+		SanitizedEventsPerSec float64 `json:"sanitized_events_per_sec"`
+		SanitizeOverhead      float64 `json:"sanitize_overhead"`
+	}{n, wheel, heap, speedup, sanitized, sanRatios[reps/2]}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -171,5 +242,6 @@ func TestWriteKernelBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wheel %.2fM ev/s, heap %.2fM ev/s, speedup %.2fx", wheel/1e6, heap/1e6, out.Speedup)
+	t.Logf("wheel %.2fM ev/s, heap %.2fM ev/s, speedup %.2fx; sanitized %.2fM ev/s (%.3fx overhead)",
+		wheel/1e6, heap/1e6, out.Speedup, sanitized/1e6, out.SanitizeOverhead)
 }

@@ -52,6 +52,7 @@ import (
 	"sort"
 
 	"github.com/haechi-qos/haechi/internal/parallel"
+	"github.com/haechi-qos/haechi/internal/sanitize"
 	"github.com/haechi-qos/haechi/internal/sim"
 )
 
@@ -88,11 +89,20 @@ type Group struct {
 	stopped bool
 
 	// Diagnostics, all deterministic.
-	quanta uint64
-	idle   []uint64 // per-shard quanta that fired zero events
-	cross  uint64   // mailbox messages delivered
+	quanta  uint64
+	idle    []uint64 // per-shard quanta that fired zero events
+	cross   uint64   // mailbox messages delivered
 	scratch []message
+
+	// san, when non-nil, checks mailbox ordering during inject
+	// (internal/sanitize). inject runs on the coordinating goroutine
+	// between quanta, so the checker needs no locking.
+	san *sanitize.Checker
 }
+
+// SetSanitizer installs the invariant checker consulted during mailbox
+// injection. Nil (the default) disables the checks.
+func (g *Group) SetSanitizer(c *sanitize.Checker) { g.san = c }
 
 // New creates a coordinator over the given kernels with lookahead
 // delta (the minimum virtual-time latency of any cross-shard message)
@@ -294,12 +304,43 @@ func (g *Group) inject() {
 			}
 			return pending[a].src < pending[b].src
 		})
+		if g.san != nil {
+			g.checkMailbox(dst, pending)
+		}
 		for i := range pending {
 			g.kernels[dst].At(pending[i].at, pending[i].fn)
 			pending[i].fn = nil
 		}
 		g.cross += uint64(len(pending))
 		g.scratch = pending[:0]
+	}
+}
+
+// checkMailbox asserts that a destination's sorted mailbox batch is
+// strictly increasing in (at, seq, src) — i.e. every (seq, src) key is
+// unique, so delivery order cannot depend on goroutine interleaving —
+// and that no message lands in the destination's past (a lookahead
+// violation Post's horizon panic did not see, e.g. a message delayed a
+// full quantum).
+func (g *Group) checkMailbox(dst int, pending []message) {
+	now := g.kernels[dst].Now()
+	for i := range pending {
+		m := &pending[i]
+		if m.at < now {
+			g.san.Reportf("shard-mailbox", int64(now),
+				"message from shard %d to shard %d at %v is in the destination's past",
+				m.src, dst, m.at)
+		}
+		if i == 0 {
+			continue
+		}
+		p := &pending[i-1]
+		if m.at < p.at ||
+			(m.at == p.at && (m.seq < p.seq || (m.seq == p.seq && m.src <= p.src))) {
+			g.san.Reportf("shard-mailbox", int64(now),
+				"mailbox for shard %d not strictly (at, seq, src)-ordered: (%v, %d, %d) after (%v, %d, %d)",
+				dst, m.at, m.seq, m.src, p.at, p.seq, p.src)
+		}
 	}
 }
 

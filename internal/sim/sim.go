@@ -126,6 +126,12 @@ type Kernel struct {
 	executed uint64
 	// cancelled counts timers cancelled before firing, for diagnostics.
 	cancelled uint64
+	// eventCheck, when set, observes every fired event's (at, seq) just
+	// before its callback runs. It is the sanitizer's monotonicity probe
+	// (internal/sanitize): the wheel must pop events in strictly
+	// increasing lexicographic (at, seq) order. Nil in production runs —
+	// Step pays one pointer comparison.
+	eventCheck func(at Time, seq uint64)
 }
 
 // New returns a kernel whose random source is seeded with seed. The same
@@ -216,6 +222,11 @@ func (t *Ticker) Stop() {
 	t.timer.Cancel()
 }
 
+// SetEventCheck installs (or clears, with nil) the per-event observer
+// called by Step with each fired event's (at, seq). The observer must
+// not schedule events or mutate kernel state.
+func (k *Kernel) SetEventCheck(fn func(at Time, seq uint64)) { k.eventCheck = fn }
+
 // Step fires the next event. It reports false when the queue is empty or
 // the kernel has been stopped.
 func (k *Kernel) Step() bool {
@@ -233,6 +244,9 @@ func (k *Kernel) Step() bool {
 		}
 		if ev.at > k.now {
 			k.now = ev.at
+		}
+		if k.eventCheck != nil {
+			k.eventCheck(ev.at, ev.seq)
 		}
 		fn := ev.fn
 		k.q.recycle(ev)
