@@ -18,7 +18,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +56,8 @@ func run(args []string) int {
 		traceOut   = fs.String("trace", "", "write per-I/O spans as Chrome trace_event JSON (open in Perfetto); multi-run experiments get -NN suffixes")
 		traceSpans = fs.Int("trace-spans", 10000, "span ring capacity for -trace (histograms always cover every span)")
 		metricsOut = fs.String("metrics", "", "write sampled metrics as CSV; multi-run experiments get -NN suffixes")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile (after GC) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +66,37 @@ func run(args []string) int {
 		fmt.Println("experiments:", strings.Join(experiments.Known(), " "))
 		fmt.Println("aliases: tablei 1a 1b 1c 2a 2b 2c 3 4over 4under fig11 fig14 fig15 fig17 fig19")
 		return 0
+	}
+	// Wall-clock profiling of the simulator itself. Orthogonal to the
+	// virtual-time attribution profile in Results: pprof says where host
+	// CPU goes, Attribution says which simulated work the kernel executed.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haechibench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "haechibench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile: %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeFile(*memProfile, func(f *os.File) error {
+				runtime.GC() // materialize the retained-heap picture
+				return pprof.WriteHeapProfile(f)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "haechibench: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "heap profile: %s\n", *memProfile)
+		}()
 	}
 
 	opts := experiments.NewDefaultOptions()
@@ -92,17 +128,11 @@ func run(args []string) int {
 
 	exp := &exporter{traceOut: *traceOut, metricsOut: *metricsOut}
 	if *traceOut != "" || *metricsOut != "" {
-		// Artifact export captures each run through the Observe hook and
-		// names files in capture order, so it needs sequential runs.
-		if opts.Parallel > 1 {
-			fmt.Fprintln(os.Stderr, "haechibench: -trace/-metrics force -parallel 1 (artifact order)")
-			opts.Parallel = 1
-		}
-		if opts.Shards > 1 && opts.ShardWorkers != 1 {
-			// cluster.New applies the same clamp; say so up front.
-			fmt.Fprintln(os.Stderr, "haechibench: -trace/-metrics force -shard-workers 1 (recorders read cross-shard state)")
-			opts.ShardWorkers = 1
-		}
+		// Artifact export works at any -parallel and -shard-workers value:
+		// each run carries a deterministic RunTag, the exporter orders
+		// artifacts by it at flush time, and sharded runs keep one
+		// recorder per shard (merged after the run), so neither knob
+		// changes the bytes written.
 		ob := &cluster.Observe{OnResults: exp.capture}
 		if *traceOut != "" {
 			ob.FlightSpans = *traceSpans
@@ -174,13 +204,17 @@ func runOne(id string, opts experiments.Options, csvDir string, exp *exporter) e
 
 // exporter captures each cluster run's Results through the Observe hook
 // and writes the observability artifacts after the experiment finishes.
-// Experiments that compare modes run several clusters; the first run
-// gets the exact -trace/-metrics filename, later ones a -NN suffix.
+// Experiments that compare modes run several clusters; runs are ordered
+// by their deterministic RunTag, the first gets the exact
+// -trace/-metrics filename, later ones a -NN suffix.
 type exporter struct {
 	traceOut   string
 	metricsOut string
 	written    int
-	pending    []*cluster.Results
+	// mu guards pending: under a parallel sweep the Observe hook fires
+	// concurrently from worker goroutines.
+	mu      sync.Mutex
+	pending []*cluster.Results
 	// events sums Results.EventsExecuted across the current experiment's
 	// cluster runs; accessed atomically (parallel sweeps report
 	// concurrently).
@@ -191,7 +225,9 @@ func (e *exporter) capture(res *cluster.Results) {
 	if e.traceOut == "" && e.metricsOut == "" {
 		return
 	}
+	e.mu.Lock()
 	e.pending = append(e.pending, res)
+	e.mu.Unlock()
 }
 
 // suffixed numbers artifact paths past the first: out.json, out-02.json…
@@ -204,6 +240,12 @@ func suffixed(path string, n int) string {
 }
 
 func (e *exporter) flush() error {
+	// Order by the experiment's deterministic run index, not completion
+	// order, so a parallel sweep writes the same files as a sequential
+	// one.
+	sort.SliceStable(e.pending, func(i, j int) bool {
+		return e.pending[i].RunTag < e.pending[j].RunTag
+	})
 	for _, res := range e.pending {
 		if e.traceOut != "" && res.Flight != nil {
 			path := suffixed(e.traceOut, e.written)
@@ -226,6 +268,10 @@ func (e *exporter) flush() error {
 		if tbl := res.StageBreakdown(); tbl != "" {
 			fmt.Printf("mode=%s %s", res.Mode, tbl)
 		}
+		// The deterministic executed-work profile: what the kernel ran,
+		// by verb kind and pipeline stage, independent of workers and of
+		// observability itself.
+		fmt.Printf("mode=%s attribution: %+v\n", res.Mode, res.Attribution)
 		e.written++
 	}
 	e.pending = e.pending[:0]

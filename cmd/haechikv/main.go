@@ -29,12 +29,12 @@ func run(args []string, out *os.File) int {
 	var (
 		tenantsFlag = fs.String("tenants", "gold:30000:0:45000,silver:15000:0:30000,bronze:8000:0:20000",
 			"comma-separated tenants: name:reservation[:limit[:demand]]")
-		mode     = fs.String("mode", "haechi", "haechi | basic | bare")
-		scale    = fs.Float64("scale", 10, "fabric scale divisor (1 = full scale)")
-		warmup   = fs.Int("warmup", 2, "warm-up periods")
-		periods  = fs.Int("periods", 5, "measured periods")
-		records  = fs.Int("records", 4096, "records populated")
-		seed     = fs.Int64("seed", 1, "random seed")
+		mode      = fs.String("mode", "haechi", "haechi | basic | bare")
+		scale     = fs.Float64("scale", 10, "fabric scale divisor (1 = full scale)")
+		warmup    = fs.Int("warmup", 2, "warm-up periods")
+		periods   = fs.Int("periods", 5, "measured periods")
+		records   = fs.Int("records", 4096, "records populated")
+		seed      = fs.Int64("seed", 1, "random seed")
 		congest   = fs.Int("congest-at", 0, "start background congestion at this measured period (0 = none)")
 		traceCap  = fs.Int("trace", 0, "record and dump the last N protocol events (QoS modes)")
 		traceDump = fs.String("trace-dump", "", "record per-I/O spans and write them as Chrome trace_event JSON to this file (open in Perfetto)")

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"github.com/haechi-qos/haechi/internal/cluster"
 	"github.com/haechi-qos/haechi/internal/kvstore"
@@ -32,9 +33,42 @@ func run(args []string) int {
 		clShard = fs.Int("cluster-shards", 0, "shard kernels inside each profiled cluster (0/1 = single kernel; part of the result, unlike -shard-workers)")
 		clWork  = fs.Int("shard-workers", 0, "worker pool driving the cluster shard kernels (0 = GOMAXPROCS; never changes the result)")
 		san     = fs.Bool("sanitize", false, "enable runtime invariant checks (never changes the result; violations fail the run)")
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of the profiling run to this file")
+		memProf = fs.String("memprofile", "", "write a pprof heap profile (after GC) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haechiprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "haechiprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile: %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "haechiprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "haechiprofile: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "heap profile: %s\n", *memProf)
+		}()
 	}
 	cfg := cluster.NewDefaultConfig()
 	cfg.Mode = cluster.Bare

@@ -56,10 +56,15 @@ type Cluster struct {
 	bgJobs      map[string]*rdma.BackgroundJob
 	serverStat0 rdma.Stats
 
-	// flight and registry are the observability layer (nil unless
-	// cfg.Observe enables them); see observe.go.
-	flight   *trace.FlightRecorder
-	registry *metrics.Registry
+	// flights and registries are the observability layer (nil unless
+	// cfg.Observe enables them): one flight recorder and one metrics
+	// registry per shard (a single entry on the single-kernel path).
+	// Each instance is stamped or sampled only from its own shard's
+	// kernel — single-writer by construction, like the sanitizer's
+	// per-shard checkers — and they merge deterministically into
+	// Results at run end; see observe.go and DESIGN.md §11.
+	flights    []*trace.FlightRecorder
+	registries []*metrics.Registry
 
 	// san holds one invariant checker per shard (one entry total on the
 	// single-kernel path), nil unless cfg.Sanitize. Per-shard checkers
@@ -99,15 +104,7 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 			// config seed so its RNG stream matches the unsharded kernel's.
 			kernels[s] = sim.New(cfg.Seed + int64(s)*1_000_003)
 		}
-		workers := cfg.ShardWorkers
-		if ob := cfg.Observe; ob != nil && (ob.FlightSpans > 0 || ob.MetricsInterval > 0) {
-			// The flight recorder and the metric gauges read state owned
-			// by other shards; sequential quanta keep that deterministic.
-			// (A bare OnResults hook runs after the simulation and does
-			// not constrain the workers.)
-			workers = 1
-		}
-		group, err = shard.New(kernels, cfg.Fabric.PropagationDelay, workers)
+		group, err = shard.New(kernels, cfg.Fabric.PropagationDelay, cfg.ShardWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -428,19 +425,45 @@ func armEventOrder(k *sim.Kernel, shard int, san *sanitize.Checker) {
 func (c *Cluster) At(t sim.Time, fn func()) { c.kernel.At(t, fn) }
 
 // FlightRecorder returns the per-I/O span recorder, nil unless enabled
-// via Config.Observe.
-func (c *Cluster) FlightRecorder() *trace.FlightRecorder { return c.flight }
+// via Config.Observe. In a sharded run the per-shard recorders are
+// merged on each call (deterministically; see trace.MergeFlightRecorders),
+// so read it after Run, not per quantum.
+func (c *Cluster) FlightRecorder() *trace.FlightRecorder {
+	if c.flights == nil {
+		return nil
+	}
+	return trace.MergeFlightRecorders(c.flights...)
+}
 
 // Metrics returns the sampled metrics registry, nil unless enabled via
-// Config.Observe.
-func (c *Cluster) Metrics() *metrics.Registry { return c.registry }
+// Config.Observe. In a sharded run the per-shard registries are merged
+// on each call; read it after Run, when every shard has sampled the
+// same instants.
+func (c *Cluster) Metrics() *metrics.Registry {
+	if c.registries == nil {
+		return nil
+	}
+	m, err := metrics.MergeSharded(c.registries)
+	if err != nil {
+		// Shard sample timelines can only diverge mid-quantum; after Run
+		// they coincide by construction (identical tickers, one horizon).
+		return nil
+	}
+	return m
+}
 
 // EnableTrace attaches a shared protocol-event recorder (ring of the
 // given capacity) to the monitor and every engine, and returns it. QoS
-// modes only.
+// modes only, and unsharded only: the recorder is one ring shared by
+// writers on every shard, which the sharded worker pool cannot drive
+// without races (the public haechi.go API never shards, so this never
+// constrains it).
 func (c *Cluster) EnableTrace(capacity int) (*trace.Recorder, error) {
 	if c.monitor == nil {
 		return nil, fmt.Errorf("cluster: tracing requires a QoS mode")
+	}
+	if c.group != nil {
+		return nil, fmt.Errorf("cluster: the protocol-event recorder is shared across engines and unsupported in sharded runs; use Observe span recording instead")
 	}
 	rec, err := trace.NewRecorder(capacity)
 	if err != nil {

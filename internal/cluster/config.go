@@ -133,11 +133,11 @@ type Config struct {
 	// ShardWorkers is the size of the worker pool driving the shards.
 	// Pure concurrency: any value produces byte-identical Results
 	// (pinned by TestShardedKernelByteIdentical). <= 0 selects
-	// GOMAXPROCS. Forced to 1 when Observe enables span recording or
-	// metrics sampling — the flight recorder and metric gauges read
-	// cross-shard state, which is only safe (and deterministic) when
-	// quanta execute sequentially. A bare OnResults hook does not
-	// constrain the workers.
+	// GOMAXPROCS. Observability no longer constrains the workers: the
+	// flight recorder and metrics registry are per-shard instances,
+	// each touched only by its own shard's kernel and merged
+	// deterministically at run end (DESIGN.md §11), so observed runs
+	// export byte-identical traces and CSVs at any worker count.
 	ShardWorkers int
 }
 

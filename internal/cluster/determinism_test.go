@@ -95,10 +95,19 @@ func TestObservabilityInert(t *testing.T) {
 		}
 		// Strip the observability payloads and the event count (the
 		// metrics ticker adds sampling events); everything else — every
-		// count, percentile and timeline — must match the blind run.
+		// count, percentile and timeline — must match the blind run. On
+		// the sharded path the per-shard tickers also shift the quantum
+		// accounting, so the event-volume fields of the ShardingReport
+		// are stripped too; the semantic fields (CrossMessages, node
+		// assignment, Attribution) must still match exactly.
 		res.Stages = nil
 		res.Metrics = nil
 		res.EventsExecuted = 0
+		if res.Sharding != nil {
+			res.Sharding.Quanta = 0
+			res.Sharding.PerShardEvents = nil
+			res.Sharding.IdleQuanta = nil
+		}
 		b, err := json.Marshal(res)
 		if err != nil {
 			t.Fatal(err)
@@ -113,10 +122,19 @@ func TestObservabilityInert(t *testing.T) {
 		reportDivergence(t, blind, sanitized)
 	}
 	// Sharded output differs from unsharded by design; compare the
-	// sharded run against its own sanitized twin instead.
+	// sharded run against its own observed and sanitized twins instead.
+	// The observed twin exercises the per-shard recorder/registry path:
+	// every instrument is single-writer on its own shard, so turning
+	// observability on must leave the sharded outcome untouched too.
 	shardedBlind := run(false, false, 3)
+	if observed := run(true, false, 3); !bytes.Equal(shardedBlind, observed) {
+		reportDivergence(t, shardedBlind, observed)
+	}
 	if sanitized := run(false, true, 3); !bytes.Equal(shardedBlind, sanitized) {
 		reportDivergence(t, shardedBlind, sanitized)
+	}
+	if both := run(true, true, 3); !bytes.Equal(shardedBlind, both) {
+		reportDivergence(t, shardedBlind, both)
 	}
 }
 

@@ -26,8 +26,17 @@ type Observe struct {
 	MetricsInterval sim.Time
 	// OnResults, when set, receives the Results of each run before
 	// Run returns. CLIs use it to capture traces from experiments that
-	// construct several clusters internally.
+	// construct several clusters internally. Under a parallel sweep the
+	// hook fires concurrently from worker goroutines; implementations
+	// must be safe for that (cluster code itself never calls it
+	// concurrently for one cluster).
 	OnResults func(*Results)
+	// RunTag is a caller-chosen index copied verbatim into
+	// Results.RunTag (excluded from JSON). Experiments tag each
+	// internal cluster run with a deterministic sequence number so an
+	// OnResults capturer can order artifacts by run, not by completion
+	// time, under parallel sweeps.
+	RunTag int
 }
 
 // DefaultMetricsInterval returns a sampling cadence of 1/100th of the
@@ -41,24 +50,39 @@ func DefaultMetricsInterval(period sim.Time) sim.Time {
 	return iv
 }
 
-// setupObserve attaches the flight recorder and metrics registry per
-// the config. Called at the end of New, once all nodes, engines and
-// generators exist.
+// setupObserve attaches the flight recorders and metrics registries per
+// the config — one of each per shard (a single instance on the
+// single-kernel path), so observed sharded runs keep every recorder
+// single-writer at any worker count. Called at the end of New, once all
+// nodes, engines and generators exist.
 func (c *Cluster) setupObserve() error {
 	ob := c.cfg.Observe
 	if ob == nil {
 		return nil
 	}
+	shardCount := 1
+	if c.kernels != nil {
+		shardCount = len(c.kernels)
+	}
 	if ob.FlightSpans > 0 {
-		fr, err := trace.NewFlightRecorder(ob.FlightSpans)
-		if err != nil {
+		frs := make([]*trace.FlightRecorder, shardCount)
+		for s := range frs {
+			fr, err := trace.NewShardFlightRecorder(ob.FlightSpans, s)
+			if err != nil {
+				return err
+			}
+			frs[s] = fr
+		}
+		if err := c.fabric.SetFlightRecorders(frs); err != nil {
 			return err
 		}
-		c.fabric.SetFlightRecorder(fr)
-		c.flight = fr
+		c.flights = frs
 	}
 	if ob.MetricsInterval > 0 {
-		c.registry = metrics.NewRegistry()
+		c.registries = make([]*metrics.Registry, shardCount)
+		for s := range c.registries {
+			c.registries[s] = metrics.NewRegistry()
+		}
 		if err := c.registerMetrics(); err != nil {
 			return err
 		}
@@ -68,84 +92,98 @@ func (c *Cluster) setupObserve() error {
 
 // registerMetrics registers the standing gauges: kernel health, every
 // node's NIC (and the server's CPU), monitor state, per-engine token
-// state, and per-client KV and workload progress. Registration order is
-// fixed by construction order, so exports are deterministic.
+// state, per-client KV and workload progress, and the flight recorder's
+// retention counters. Every gauge is registered on its owner's shard
+// registry — the gauge reads state only that shard's kernel writes, and
+// only that shard's ticker samples it — so sampling is single-writer
+// and single-reader per shard at any worker count. Registration order
+// is fixed by construction order, so exports are deterministic; the
+// merged registry presents per-shard columns plus summed totals for
+// names that exist on several shards (metrics.MergeSharded).
 func (c *Cluster) registerMetrics() error {
-	reg := c.registry
-	// In a sharded run the sim/ gauges sum over every shard kernel
-	// (sampling is sequential there; see Config.ShardWorkers).
+	regFor := func(s int) *metrics.Registry {
+		if s < 0 || s >= len(c.registries) {
+			s = 0
+		}
+		return c.registries[s]
+	}
 	kernels := c.kernels
 	if kernels == nil {
 		kernels = []*sim.Kernel{c.kernel}
 	}
-	sum := func(per func(*sim.Kernel) float64) func() float64 {
-		return func() float64 {
-			var n float64
-			for _, k := range kernels {
-				n += per(k)
-			}
-			return n
-		}
-	}
-	add := func(name string, fn func() float64) error { return reg.Register(name, fn) }
-
-	if err := add("sim/pending-events", sum(func(k *sim.Kernel) float64 { return float64(k.Pending()) })); err != nil {
-		return err
-	}
-	if err := add("sim/executed-events", sum(func(k *sim.Kernel) float64 { return float64(k.Executed()) })); err != nil {
-		return err
-	}
-	if err := add("sim/cancelled-timers", sum(func(k *sim.Kernel) float64 { return float64(k.Cancelled()) })); err != nil {
-		return err
-	}
-	for _, n := range c.fabric.Nodes() {
-		nic := n.NIC()
-		if err := add(n.Name()+"/nic/served", func() float64 { return float64(nic.Served()) }); err != nil {
+	// Kernel-health gauges: one set per shard, each sampled from its own
+	// kernel. The merged export keeps the historical cross-shard sums
+	// under the plain names and adds shard<K>/sim/* columns so shard
+	// imbalance is visible directly in the CSV.
+	for s, k := range kernels {
+		k := k
+		reg := c.registries[s]
+		if err := reg.Register("sim/pending-events", func() float64 { return float64(k.Pending()) }); err != nil {
 			return err
 		}
-		if err := add(n.Name()+"/nic/queue-delay-ns", func() float64 { return float64(nic.QueueDelay()) }); err != nil {
+		if err := reg.Register("sim/executed-events", func() float64 { return float64(k.Executed()) }); err != nil {
+			return err
+		}
+		if err := reg.Register("sim/cancelled-timers", func() float64 { return float64(k.Cancelled()) }); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.fabric.Nodes() {
+		reg := regFor(n.Shard())
+		nic := n.NIC()
+		if err := reg.Register(n.Name()+"/nic/served", func() float64 { return float64(nic.Served()) }); err != nil {
+			return err
+		}
+		if err := reg.Register(n.Name()+"/nic/queue-delay-ns", func() float64 { return float64(nic.QueueDelay()) }); err != nil {
 			return err
 		}
 		if cpu := n.CPU(); cpu != nil {
-			if err := add(n.Name()+"/cpu/served", func() float64 { return float64(cpu.Served()) }); err != nil {
+			if err := reg.Register(n.Name()+"/cpu/served", func() float64 { return float64(cpu.Served()) }); err != nil {
 				return err
 			}
 		}
 	}
 	if c.monitor != nil {
-		if err := add("monitor/omega", func() float64 { return float64(c.monitor.Estimator().Current()) }); err != nil {
+		reg := regFor(0) // the monitor lives on the data node's shard
+		if err := reg.Register("monitor/omega", func() float64 { return float64(c.monitor.Estimator().Current()) }); err != nil {
 			return err
 		}
-		if err := add("monitor/conversions", func() float64 { return float64(c.monitor.ConversionCount) }); err != nil {
+		if err := reg.Register("monitor/conversions", func() float64 { return float64(c.monitor.ConversionCount) }); err != nil {
 			return err
 		}
 	}
 	for _, rt := range c.clients {
 		rt := rt
+		reg := regFor(rt.Node.Shard())
 		name := rt.Node.Name()
 		if rt.Engine != nil {
-			if err := add(name+"/engine/pending", func() float64 { return float64(rt.Engine.Pending()) }); err != nil {
+			if err := reg.Register(name+"/engine/pending", func() float64 { return float64(rt.Engine.Pending()) }); err != nil {
 				return err
 			}
-			if err := add(name+"/engine/res-tokens", func() float64 { return float64(rt.Engine.ReservationTokens()) }); err != nil {
+			if err := reg.Register(name+"/engine/res-tokens", func() float64 { return float64(rt.Engine.ReservationTokens()) }); err != nil {
 				return err
 			}
-			if err := add(name+"/engine/local-global-tokens", func() float64 { return float64(rt.Engine.LocalGlobalTokens()) }); err != nil {
+			if err := reg.Register(name+"/engine/local-global-tokens", func() float64 { return float64(rt.Engine.LocalGlobalTokens()) }); err != nil {
 				return err
 			}
 		}
-		if err := add(name+"/kv/one-sided-gets", func() float64 { return float64(rt.KV.OneSidedGets()) }); err != nil {
+		if err := reg.Register(name+"/kv/one-sided-gets", func() float64 { return float64(rt.KV.OneSidedGets()) }); err != nil {
 			return err
 		}
-		if err := add(name+"/kv/probe-reads", func() float64 { return float64(rt.KV.ProbeReads()) }); err != nil {
+		if err := reg.Register(name+"/kv/probe-reads", func() float64 { return float64(rt.KV.ProbeReads()) }); err != nil {
 			return err
 		}
-		if err := add(name+"/workload/inflight", func() float64 { return float64(rt.Gen.Issued() - rt.Gen.Completed()) }); err != nil {
+		if err := reg.Register(name+"/workload/inflight", func() float64 { return float64(rt.Gen.Issued() - rt.Gen.Completed()) }); err != nil {
 			return err
 		}
 	}
-	if c.flight != nil {
-		if err := add("trace/spans-finished", func() float64 { return float64(c.flight.Finished()) }); err != nil {
+	for s, fr := range c.flights {
+		fr := fr
+		reg := regFor(s)
+		if err := reg.Register("trace/spans-finished", func() float64 { return float64(fr.Finished()) }); err != nil {
+			return err
+		}
+		if err := reg.Register("trace/spans-dropped", func() float64 { return float64(fr.Dropped()) }); err != nil {
 			return err
 		}
 	}

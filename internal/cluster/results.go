@@ -80,17 +80,33 @@ type Results struct {
 	Sharding *ShardingReport `json:",omitempty"`
 	// Stages is the per-tenant per-stage latency breakdown from the
 	// flight recorder; nil unless Config.Observe enabled span recording.
+	// In a sharded run the rows come from the merged per-shard
+	// recorders (histograms merged per actor, deterministically).
 	Stages []StageLatency `json:",omitempty"`
 	// Metrics is the sampled registry; nil unless enabled. It marshals
-	// deterministically (registration order).
+	// deterministically (registration order). In a sharded run it is
+	// the merged per-shard registry: summed totals under the plain
+	// names plus shard<K>/ columns for per-shard gauges.
 	Metrics *metrics.Registry `json:",omitempty"`
-	// Flight is the span recorder for trace export. Excluded from JSON:
-	// the ring is bounded (eviction order is deterministic but the
-	// retained window is an export concern, not a result).
+	// Flight is the span recorder for trace export (merged across
+	// shards in a sharded run). Excluded from JSON: the ring is bounded
+	// (eviction order is deterministic but the retained window is an
+	// export concern, not a result).
 	Flight *trace.FlightRecorder `json:"-"`
+	// Attribution is the fabric's executed-work profile summed over
+	// shards: per-verb-kind and per-pipeline-stage execution counts.
+	// Always present and always deterministic — the counters ride the
+	// event sequence itself, so they are identical with observability
+	// on or off and at any worker count. Per-shard profiles appear in
+	// Sharding.Attribution.
+	Attribution rdma.ExecProfile
+	// RunTag echoes Config.Observe.RunTag (0 when unset). Excluded from
+	// JSON so tagging runs cannot perturb byte-compared results; OnResults
+	// capturers use it to order artifacts under parallel sweeps.
+	RunTag int `json:"-"`
 }
 
-func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) *Results {
+func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) (*Results, error) {
 	res := &Results{
 		Mode:            c.cfg.Mode,
 		MeasuredPeriods: measurePeriods,
@@ -102,11 +118,28 @@ func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) *Resu
 		res.EventsExecuted = c.group.Executed()
 		res.Sharding = c.shardingReport()
 	}
-	if c.flight != nil {
-		res.Flight = c.flight
-		res.Stages = stageRows(c.flight)
+	for _, p := range c.fabric.ExecProfiles() {
+		p := p
+		res.Attribution.Add(&p)
 	}
-	res.Metrics = c.registry
+	if ob := c.cfg.Observe; ob != nil {
+		res.RunTag = ob.RunTag
+	}
+	if c.flights != nil {
+		// Merge the per-shard recorders in shard order: the span ring in
+		// (End, shard) order, the stage histograms per actor. Identity on
+		// the single-kernel path.
+		fr := trace.MergeFlightRecorders(c.flights...)
+		res.Flight = fr
+		res.Stages = stageRows(fr)
+	}
+	if c.registries != nil {
+		m, err := metrics.MergeSharded(c.registries)
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics = m
+	}
 	var agg metrics.Histogram
 	var totalFAA, totalReports, totalSends uint64
 	for i, rt := range c.clients {
@@ -150,7 +183,7 @@ func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) *Resu
 		capacityUnits := f.ServerOneSidedRate * c.cfg.Params.Period.Seconds() * float64(measurePeriods)
 		res.Overhead.NICFraction = weighted / capacityUnits
 	}
-	return res
+	return res, nil
 }
 
 // String renders a per-client table in the shape of the paper's bar

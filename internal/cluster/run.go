@@ -41,9 +41,10 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 	}
 
 	var metricsTicker *sim.Ticker
-	if c.registry != nil {
+	if c.registries != nil {
+		reg := c.registries[0]
 		t, err := k.Every(0, c.cfg.Observe.MetricsInterval, func() {
-			c.registry.Sample(k.Now())
+			reg.Sample(k.Now())
 		})
 		if err != nil {
 			return nil, err
@@ -88,7 +89,10 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 			rt.Engine.Stop()
 		}
 	}
-	res := c.buildResults(measurePeriods, serverStats)
+	res, err := c.buildResults(measurePeriods, serverStats)
+	if err != nil {
+		return nil, err
+	}
 	if ob := c.cfg.Observe; ob != nil && ob.OnResults != nil {
 		ob.OnResults(res)
 	}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"testing"
 
+	"github.com/haechi-qos/haechi/internal/rdma"
+	"github.com/haechi-qos/haechi/internal/trace"
 	"github.com/haechi-qos/haechi/internal/workload"
 )
 
@@ -138,28 +140,102 @@ func TestShardedReportShape(t *testing.T) {
 			t.Errorf("client %d on shard %d, want %d (round-robin)", i, na.Shard, want)
 		}
 	}
+	// Attribution: one profile per shard, summing to Results.Attribution,
+	// with the work the run must have done actually counted.
+	if len(sr.Attribution) != sr.Shards {
+		t.Fatalf("Attribution has %d profiles, want %d", len(sr.Attribution), sr.Shards)
+	}
+	var prof rdma.ExecProfile
+	for i := range sr.Attribution {
+		prof.Add(&sr.Attribution[i])
+	}
+	if prof != res.Attribution {
+		t.Errorf("per-shard attribution sums to %+v, Results.Attribution = %+v", prof, res.Attribution)
+	}
+	if res.Attribution.Reads == 0 || res.Attribution.FetchAdds == 0 ||
+		res.Attribution.SchedDispatches == 0 || res.Attribution.Deliveries == 0 {
+		t.Errorf("attribution missing expected work: %+v", res.Attribution)
+	}
 }
 
-// TestShardedObserveForcesSequential verifies the Observe clamp: with
-// the flight recorder and gauges reading cross-shard state, the group
-// must run with exactly one worker regardless of ShardWorkers.
-func TestShardedObserveForcesSequential(t *testing.T) {
-	specs := []ClientSpec{{Reservation: 1200, Demand: ConstantDemand(1500)}}
+// observedShardedRun executes a figure-scale observed+sanitized sharded
+// run and returns the serialized Results, the exported Chrome trace
+// bytes, and the exported metrics CSV bytes.
+func observedShardedRun(t *testing.T, shards, workers int) (resJSON, traceB, csvB []byte) {
+	t.Helper()
+	specs := make([]ClientSpec, 6)
+	for i := range specs {
+		specs[i] = ClientSpec{
+			Reservation:    1200,
+			Demand:         ConstantDemand(1500),
+			UpdateFraction: 0.05,
+		}
+	}
+	specs[5].Pattern = workload.Poisson{}
 	cfg := testConfig(Haechi)
-	cfg.Shards = 2
-	cfg.ShardWorkers = 8
+	cfg.Seed = 42
+	cfg.Shards = shards
+	cfg.ShardWorkers = workers
+	cfg.Sanitize = true
 	cfg.Observe = &Observe{
-		FlightSpans:     256,
+		FlightSpans:     2048,
 		MetricsInterval: DefaultMetricsInterval(cfg.Params.Period),
 	}
 	cl, err := New(cfg, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := cl.group.Workers(); got != 1 {
-		t.Errorf("Observe run uses %d workers, want 1", got)
-	}
-	if _, err := cl.Run(1, 1); err != nil {
+	res, err := cl.Run(1, 3)
+	if err != nil {
 		t.Fatal(err)
+	}
+	resJSON, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := trace.WriteChromeTrace(&tb, res.Flight, nil); err != nil {
+		t.Fatal(err)
+	}
+	var cb bytes.Buffer
+	if err := res.Metrics.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return resJSON, tb.Bytes(), cb.Bytes()
+}
+
+// TestObservedShardedByteIdentical is the tentpole property of
+// shard-parallel observability (and the former clamp's replacement,
+// TestShardedObserveForcesSequential): an observed, sanitized, sharded
+// run must produce byte-identical Results, Chrome trace, and metrics
+// CSV at any worker count. Per-shard recorders are single-writer by
+// construction and merge in shard order after the run, so the exports —
+// not just the Results — carry no trace of how many workers drove the
+// quanta.
+func TestObservedShardedByteIdentical(t *testing.T) {
+	baseRes, baseTrace, baseCSV := observedShardedRun(t, 4, 1)
+	if !bytes.Contains(baseTrace, []byte("shard-1")) {
+		t.Error("sharded Chrome trace has no shard-1 process track")
+	}
+	if !bytes.Contains(baseCSV, []byte("shard1/sim/pending-events")) {
+		t.Error("merged metrics CSV has no per-shard sim/ column")
+	}
+	if !bytes.Contains(baseCSV, []byte(",trace/spans-dropped")) {
+		t.Error("merged metrics CSV has no trace/spans-dropped column")
+	}
+	for _, workers := range []int{2, 8} {
+		res, traceB, csvB := observedShardedRun(t, 4, workers)
+		if !bytes.Equal(baseRes, res) {
+			t.Errorf("workers=%d: Results diverged from workers=1", workers)
+			reportDivergence(t, baseRes, res)
+		}
+		if !bytes.Equal(baseTrace, traceB) {
+			t.Errorf("workers=%d: Chrome trace diverged from workers=1", workers)
+			reportDivergence(t, baseTrace, traceB)
+		}
+		if !bytes.Equal(baseCSV, csvB) {
+			t.Errorf("workers=%d: metrics CSV diverged from workers=1", workers)
+			reportDivergence(t, baseCSV, csvB)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"github.com/haechi-qos/haechi/internal/rdma"
 	"github.com/haechi-qos/haechi/internal/sim"
 )
 
@@ -33,6 +34,10 @@ type ShardingReport struct {
 	// Nodes maps cluster nodes to shards (data node first, then clients
 	// in index order).
 	Nodes []ShardAssignment
+	// Attribution is the per-shard executed-work profile (shard order);
+	// Results.Attribution is its sum. Like every other field here it is
+	// deterministic and worker-count-independent.
+	Attribution []rdma.ExecProfile
 }
 
 // runSharded is Run's quantum-coordinated twin: the same warm-up/measure
@@ -80,17 +85,25 @@ func (c *Cluster) runSharded(warmupPeriods, measurePeriods int) (*Results, error
 		}
 	}
 
-	var metricsTicker *sim.Ticker
-	if c.registry != nil {
-		// Gauges read cross-shard state; Observe forces ShardWorkers to 1
-		// (see Config.ShardWorkers), making this sequential and safe.
-		t, err := c.kernel.Every(0, c.cfg.Observe.MetricsInterval, func() {
-			c.registry.Sample(c.kernel.Now())
-		})
-		if err != nil {
-			return nil, err
+	var metricsTickers []*sim.Ticker
+	if c.registries != nil {
+		// One metrics ticker per shard, sampling only that shard's
+		// registry from that shard's kernel: every gauge is registered on
+		// its owner's shard (see registerMetrics), so sampling reads no
+		// cross-shard state and the workers stay unconstrained. All shards
+		// tick at the same virtual instants and run to the same horizon,
+		// so the per-shard sample timelines coincide and merge cleanly.
+		for s, reg := range c.registries {
+			k := c.kernels[s]
+			reg := reg
+			t, err := k.Every(0, c.cfg.Observe.MetricsInterval, func() {
+				reg.Sample(k.Now())
+			})
+			if err != nil {
+				return nil, err
+			}
+			metricsTickers = append(metricsTickers, t)
 		}
-		metricsTicker = t
 	}
 
 	warmEnd := start + sim.Time(warmupPeriods)*T
@@ -122,8 +135,8 @@ func (c *Cluster) runSharded(warmupPeriods, measurePeriods int) (*Results, error
 	c.group.Close()
 	serverStats := c.server.Stats().Sub(c.serverStat0)
 
-	if metricsTicker != nil {
-		metricsTicker.Stop()
+	for _, tick := range metricsTickers {
+		tick.Stop()
 	}
 	for _, tick := range bareTickers {
 		tick.Stop()
@@ -137,7 +150,10 @@ func (c *Cluster) runSharded(warmupPeriods, measurePeriods int) (*Results, error
 			rt.Engine.Stop()
 		}
 	}
-	res := c.buildResults(measurePeriods, serverStats)
+	res, err := c.buildResults(measurePeriods, serverStats)
+	if err != nil {
+		return nil, err
+	}
 	if ob := c.cfg.Observe; ob != nil && ob.OnResults != nil {
 		ob.OnResults(res)
 	}
@@ -158,6 +174,7 @@ func (c *Cluster) shardingReport() *ShardingReport {
 		CrossMessages:  c.group.CrossMessages(),
 		PerShardEvents: per,
 		IdleQuanta:     c.group.IdleQuanta(),
+		Attribution:    c.fabric.ExecProfiles(),
 	}
 	sr.Nodes = append(sr.Nodes, ShardAssignment{Name: c.server.Name(), Shard: c.server.Shard()})
 	for _, rt := range c.clients {

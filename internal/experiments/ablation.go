@@ -37,8 +37,11 @@ func Ablation(o Options) (*Report, error) {
 		return full(i)
 	}
 
-	run := func(mutate func(*cluster.Config)) (*cluster.Results, error) {
-		return o.runQoS(cluster.Haechi, o.qosSpecs(res, demand), mutate)
+	// run tags each sweep point with a globally unique run index so
+	// artifact capture stays ordered: batches take 0-3, intervals 4-6,
+	// depths 7-9 and the flow-control combos 10-12.
+	run := func(tag int, mutate func(*cluster.Config)) (*cluster.Results, error) {
+		return o.tagged(tag).runQoS(cluster.Haechi, o.qosSpecs(res, demand), mutate)
 	}
 	row := func(t *Table, label string, out *cluster.Results) {
 		var worstHungry float64 = 2
@@ -68,7 +71,7 @@ func Ablation(o Options) (*Report, error) {
 	batches := []int64{1 * int64(o.Scale), 100, 1000, 10000}
 	batchOuts, err := parallel.Map(o.workers(), len(batches), func(i int) (*cluster.Results, error) {
 		b := batches[i]
-		return run(func(c *cluster.Config) { c.Params.Batch = b })
+		return run(i, func(c *cluster.Config) { c.Params.Batch = b })
 	})
 	if err != nil {
 		return nil, err
@@ -86,7 +89,7 @@ func Ablation(o Options) (*Report, error) {
 	intervals := []sim.Time{200 * sim.Microsecond, sim.Millisecond, 4 * sim.Millisecond}
 	intervalOuts, err := parallel.Map(o.workers(), len(intervals), func(i int) (*cluster.Results, error) {
 		iv := intervals[i]
-		return run(func(c *cluster.Config) {
+		return run(len(batches)+i, func(c *cluster.Config) {
 			c.Params.CheckInterval = iv
 			c.Params.ReportInterval = iv
 			c.Params.Tick = iv
@@ -109,7 +112,7 @@ func Ablation(o Options) (*Report, error) {
 	depths := []int{8, 64, 512}
 	depthOuts, err := parallel.Map(o.workers(), len(depths), func(i int) (*cluster.Results, error) {
 		d := depths[i]
-		return run(func(c *cluster.Config) { c.Params.SendQueueDepth = d })
+		return run(len(batches)+len(intervals)+i, func(c *cluster.Config) { c.Params.SendQueueDepth = d })
 	})
 	if err != nil {
 		return nil, err
@@ -144,7 +147,7 @@ func Ablation(o Options) (*Report, error) {
 	}
 	comboOuts, err := parallel.Map(o.workers(), len(combos), func(i int) (*cluster.Results, error) {
 		combo := combos[i]
-		return o.runQoS(cluster.Haechi, o.qosSpecs(spikeRes, spikeDemand),
+		return o.tagged(len(batches)+len(intervals)+len(depths)+i).runQoS(cluster.Haechi, o.qosSpecs(spikeRes, spikeDemand),
 			func(c *cluster.Config) {
 				c.Params.SendQueueDepth = combo.depth
 				c.Fabric.FlowControlWindow = combo.window

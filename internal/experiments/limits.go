@@ -44,7 +44,7 @@ func Limits(o Options) (*Report, error) {
 				Demand: cluster.ConstantDemand(uint64(capacity)),
 			},
 		}
-		return o.runQoS(cluster.Haechi, specs, nil)
+		return o.tagged(i).runQoS(cluster.Haechi, specs, nil)
 	})
 	if err != nil {
 		return nil, err

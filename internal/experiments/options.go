@@ -113,6 +113,21 @@ func (o Options) validate() (Options, error) {
 	return o, nil
 }
 
+// tagged returns a copy of the options whose Observe is cloned with
+// RunTag set to run. Every experiment tags each internal cluster run
+// with a deterministic sequence number, so an OnResults capturer can
+// order artifacts by run index even when a parallel sweep completes
+// runs out of order. No-op when Observe is nil.
+func (o Options) tagged(run int) Options {
+	if o.Observe == nil {
+		return o
+	}
+	ob := *o.Observe
+	ob.RunTag = run
+	o.Observe = &ob
+	return o
+}
+
 // workers returns the worker count for parallel.Map sweeps.
 func (o Options) workers() int {
 	if o.Parallel <= 1 {

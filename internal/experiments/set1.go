@@ -57,11 +57,11 @@ func Fig6(o Options) (*Report, error) {
 		Header: []string{"client", "1-sided", "2-sided", "2-sided/1-sided"},
 	}
 	points, err := parallel.Map(o.workers(), o.Clients, func(c int) ([2]float64, error) {
-		one, err := o.saturationRun(1, false, o.Seed+int64(c))
+		one, err := o.tagged(2*c).saturationRun(1, false, o.Seed+int64(c))
 		if err != nil {
 			return [2]float64{}, err
 		}
-		two, err := o.saturationRun(1, true, o.Seed+int64(c))
+		two, err := o.tagged(2*c+1).saturationRun(1, true, o.Seed+int64(c))
 		if err != nil {
 			return [2]float64{}, err
 		}
@@ -102,11 +102,11 @@ func Fig7(o Options) (*Report, error) {
 	}
 	points, err := parallel.Map(o.workers(), o.Clients, func(i int) ([2]float64, error) {
 		n := i + 1
-		one, err := o.saturationRun(n, false, o.Seed)
+		one, err := o.tagged(2*i).saturationRun(n, false, o.Seed)
 		if err != nil {
 			return [2]float64{}, err
 		}
-		two, err := o.saturationRun(n, true, o.Seed)
+		two, err := o.tagged(2*i+1).saturationRun(n, true, o.Seed)
 		if err != nil {
 			return [2]float64{}, err
 		}
@@ -191,7 +191,7 @@ func Fig8(o Options) (*Report, error) {
 				Pattern: tc.pattern,
 			}
 		}
-		cl, err := cluster.New(o.baseConfig(cluster.Bare), specs)
+		cl, err := cluster.New(o.tagged(ci).baseConfig(cluster.Bare), specs)
 		if err != nil {
 			return nil, err
 		}

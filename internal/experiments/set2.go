@@ -120,7 +120,7 @@ func Fig9(o Options) (*Report, error) {
 			return fig9Point{}, err
 		}
 		demand := o.demandRPlusPool(res)
-		qos, err := o.runQoS(cluster.Haechi, o.qosSpecs(res, demand), nil)
+		qos, err := o.tagged(2*di).runQoS(cluster.Haechi, o.qosSpecs(res, demand), nil)
 		if err != nil {
 			return fig9Point{}, err
 		}
@@ -128,7 +128,7 @@ func Fig9(o Options) (*Report, error) {
 		for i := range bareSpecs {
 			bareSpecs[i].Reservation = 0
 		}
-		bare, err := o.runQoS(cluster.Bare, bareSpecs, nil)
+		bare, err := o.tagged(2*di+1).runQoS(cluster.Bare, bareSpecs, nil)
 		if err != nil {
 			return fig9Point{}, err
 		}
@@ -202,11 +202,11 @@ func Fig10and11(o Options) (*Report, error) {
 			}
 			return full(i)
 		}
-		haechi, err := o.runQoS(cluster.Haechi, o.qosSpecs(res, demand), nil)
+		haechi, err := o.tagged(3*di).runQoS(cluster.Haechi, o.qosSpecs(res, demand), nil)
 		if err != nil {
 			return fig10Point{}, err
 		}
-		basic, err := o.runQoS(cluster.BasicHaechi, o.qosSpecs(res, demand), nil)
+		basic, err := o.tagged(3*di+1).runQoS(cluster.BasicHaechi, o.qosSpecs(res, demand), nil)
 		if err != nil {
 			return fig10Point{}, err
 		}
@@ -214,7 +214,7 @@ func Fig10and11(o Options) (*Report, error) {
 		for i := range bareSpecs {
 			bareSpecs[i].Reservation = 0
 		}
-		bare, err := o.runQoS(cluster.Bare, bareSpecs, nil)
+		bare, err := o.tagged(3*di+2).runQoS(cluster.Bare, bareSpecs, nil)
 		if err != nil {
 			return fig10Point{}, err
 		}
@@ -275,7 +275,7 @@ func Fig12(o Options) (*Report, error) {
 		if err != nil {
 			return 0, err
 		}
-		out, err := o.runQoS(cluster.Haechi, o.qosSpecs(res, o.demandRPlusShare(res)), nil)
+		out, err := o.tagged(i).runQoS(cluster.Haechi, o.qosSpecs(res, o.demandRPlusShare(res)), nil)
 		if err != nil {
 			return 0, err
 		}

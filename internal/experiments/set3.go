@@ -55,7 +55,7 @@ func Fig13to15(o Options) (*Report, error) {
 		for i := range specs {
 			specs[i].Pattern = pc.pattern
 		}
-		out, err := o.runQoS(cluster.Haechi, specs, nil)
+		out, err := o.tagged(pi).runQoS(cluster.Haechi, specs, nil)
 		if err != nil {
 			return outcome{}, err
 		}

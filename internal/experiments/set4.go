@@ -164,7 +164,7 @@ func Fig16and17(o Options) (*Report, error) {
 	}
 	dists := []string{"uniform", "zipf"}
 	points, err := parallel.Map(o.workers(), len(dists), func(di int) (congestionPoint, error) {
-		out, switchAt, err := o.congestionRun(dists[di], false)
+		out, switchAt, err := o.tagged(di).congestionRun(dists[di], false)
 		return congestionPoint{out: out, switchAt: switchAt}, err
 	})
 	if err != nil {
@@ -199,7 +199,7 @@ func Fig18and19(o Options) (*Report, error) {
 	}
 	dists := []string{"uniform", "zipf"}
 	points, err := parallel.Map(o.workers(), len(dists), func(di int) (congestionPoint, error) {
-		out, switchAt, err := o.congestionRun(dists[di], true)
+		out, switchAt, err := o.tagged(di).congestionRun(dists[di], true)
 		return congestionPoint{out: out, switchAt: switchAt}, err
 	})
 	if err != nil {

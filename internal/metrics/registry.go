@@ -26,6 +26,11 @@ type Registry struct {
 
 	times  []sim.Time
 	values [][]float64 // values[i] is the column for metric i
+
+	// merged marks a read-only registry built by MergeSharded: its
+	// columns have no gauges behind them, so sampling it would corrupt
+	// the column lengths.
+	merged bool
 }
 
 // NewRegistry creates an empty registry.
@@ -45,6 +50,9 @@ func (r *Registry) Register(name string, fn func() float64) error {
 	}
 	if _, dup := r.index[name]; dup {
 		return fmt.Errorf("metrics: registry: duplicate metric %q", name)
+	}
+	if r.merged {
+		return fmt.Errorf("metrics: registry: cannot register %q on a merged registry", name)
 	}
 	if len(r.times) > 0 {
 		return fmt.Errorf("metrics: registry: cannot register %q after sampling started", name)
@@ -71,8 +79,12 @@ func (r *Registry) Names() []string {
 // Samples returns the number of sampling instants recorded.
 func (r *Registry) Samples() int { return len(r.times) }
 
-// Sample snapshots every registered gauge at virtual time t.
+// Sample snapshots every registered gauge at virtual time t. Merged
+// registries (MergeSharded) are export-only and must not be sampled.
 func (r *Registry) Sample(t sim.Time) {
+	if r.merged {
+		panic("metrics: registry: cannot sample a merged registry")
+	}
 	r.times = append(r.times, t)
 	for i, fn := range r.fns {
 		r.values[i] = append(r.values[i], fn())

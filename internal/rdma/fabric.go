@@ -57,6 +57,16 @@ type Node struct {
 	// sched arbitrates incoming bulk operations round-robin across
 	// initiators (per-QP fairness).
 	sched rrScheduler
+
+	// flight is this node's shard's flight recorder (nil when recording
+	// is off). Cached per node so the hot stamping sites index nothing:
+	// every stamp runs on the node's own kernel, so each recorder keeps
+	// a single writer even when shards run concurrently.
+	flight *trace.FlightRecorder
+	// prof is this node's shard's attribution profile (always non-nil).
+	// Same single-writer argument: every increment runs on the node's
+	// kernel.
+	prof *ExecProfile
 }
 
 // Name returns the node name.
@@ -120,13 +130,21 @@ type Fabric struct {
 	cfg   Config
 	nodes []*Node
 
-	// flight, when non-nil, records a per-verb pipeline span for every
-	// operation initiated on the fabric. Recording only stamps
+	// flights holds one flight recorder per shard (one entry when
+	// unsharded), or nil when recording is off. Each recorder receives
+	// spans only from code running on its shard's kernel — Begin on the
+	// initiator's shard, Finish on the shard of the stamping site — so
+	// concurrent shards never share a recorder. Recording only stamps
 	// timestamps inside callbacks the fabric executes anyway, so the
-	// kernel event sequence is unchanged (DESIGN.md §7).
-	flight *trace.FlightRecorder
+	// kernel event sequence is unchanged (DESIGN.md §7, §11).
+	flights []*trace.FlightRecorder
+	// profs holds one attribution profile per shard (one entry when
+	// unsharded); always non-nil. See ExecProfile.
+	profs []*ExecProfile
 	// qpSeq numbers queue pairs in creation order; the id is the span
-	// track within the initiator's process in Chrome trace exports.
+	// track within the initiator's process in Chrome trace exports
+	// (fabric-wide unique, so sharded exports can use it as a thread id
+	// directly).
 	qpSeq int
 
 	// Sharded mode (see EnableSharding): shardKernels[s] drives shard s,
@@ -142,7 +160,7 @@ func NewFabric(k *sim.Kernel, cfg Config) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Fabric{k: k, cfg: cfg}, nil
+	return &Fabric{k: k, cfg: cfg, profs: []*ExecProfile{{}}}, nil
 }
 
 // Kernel returns the simulation kernel driving this fabric. Under
@@ -175,15 +193,82 @@ func (f *Fabric) EnableSharding(kernels []*sim.Kernel, assign func(name string, 
 	f.shardKernels = kernels
 	f.assign = assign
 	f.post = post
+	f.profs = make([]*ExecProfile, len(kernels))
+	for s := range f.profs {
+		f.profs[s] = &ExecProfile{}
+	}
 	return nil
 }
 
-// SetFlightRecorder attaches (or, with nil, detaches) a flight recorder
-// that will receive a span for every verb initiated from now on.
-func (f *Fabric) SetFlightRecorder(fr *trace.FlightRecorder) { f.flight = fr }
+// SetFlightRecorder attaches (or, with nil, detaches) a single flight
+// recorder that will receive a span for every verb initiated from now
+// on. On a sharded fabric with more than one shard this would give the
+// recorder concurrent writers; use SetFlightRecorders there.
+func (f *Fabric) SetFlightRecorder(fr *trace.FlightRecorder) {
+	if fr == nil {
+		f.flights = nil
+	} else {
+		f.flights = []*trace.FlightRecorder{fr}
+	}
+	f.reattachFlights()
+}
 
-// FlightRecorder returns the attached flight recorder, or nil.
-func (f *Fabric) FlightRecorder() *trace.FlightRecorder { return f.flight }
+// SetFlightRecorders attaches one flight recorder per shard. Each
+// recorder is only ever touched by code running on its shard's kernel
+// (spans begin on the initiator's recorder and finish on the recorder
+// of the shard executing the final stamp), so shards may run
+// concurrently without locks.
+func (f *Fabric) SetFlightRecorders(frs []*trace.FlightRecorder) error {
+	want := 1
+	if f.shardKernels != nil {
+		want = len(f.shardKernels)
+	}
+	if len(frs) != want {
+		return fmt.Errorf("rdma: SetFlightRecorders: got %d recorders for %d shards", len(frs), want)
+	}
+	f.flights = frs
+	f.reattachFlights()
+	return nil
+}
+
+// reattachFlights refreshes each node's cached shard recorder.
+func (f *Fabric) reattachFlights() {
+	for _, n := range f.nodes {
+		n.flight = f.flightFor(n.shard)
+	}
+}
+
+// flightFor returns shard s's recorder, or nil when recording is off.
+func (f *Fabric) flightFor(s int) *trace.FlightRecorder {
+	if f.flights == nil {
+		return nil
+	}
+	if len(f.flights) == 1 {
+		return f.flights[0]
+	}
+	return f.flights[s]
+}
+
+// FlightRecorder returns the attached flight recorder (shard 0's in a
+// sharded run), or nil.
+func (f *Fabric) FlightRecorder() *trace.FlightRecorder {
+	if f.flights == nil {
+		return nil
+	}
+	return f.flights[0]
+}
+
+// ExecProfiles returns a copy of the per-shard attribution profiles in
+// shard order (a single entry when unsharded). The counters are always
+// on — they increment alongside event execution and are exactly as
+// deterministic as the event sequence itself.
+func (f *Fabric) ExecProfiles() []ExecProfile {
+	out := make([]ExecProfile, len(f.profs))
+	for s, p := range f.profs {
+		out[s] = *p
+	}
+	return out
+}
 
 // Config returns the fabric's performance model.
 func (f *Fabric) Config() Config { return f.cfg }
@@ -222,6 +307,8 @@ func (f *Fabric) addNode(name string, kind NodeKind) (*Node, error) {
 		n.shard = s
 		n.k = f.shardKernels[s]
 	}
+	n.flight = f.flightFor(n.shard)
+	n.prof = f.profs[n.shard]
 	n.sched.node = n
 	n.sched.onServedFn = n.sched.onServed
 	var err error

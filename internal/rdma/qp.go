@@ -218,7 +218,7 @@ func (qp *QP) ID() int { return qp.id }
 // beginSpan starts a flight-recorder span for a verb posted on this QP,
 // or returns nil when recording is off.
 func (qp *QP) beginSpan(op trace.Op, control bool) *trace.Span {
-	fr := qp.fabric.flight
+	fr := qp.initiator.flight // the initiator's shard begins the span
 	if fr == nil {
 		return nil
 	}
@@ -290,6 +290,7 @@ func (qp *QP) initiate(op flowOp) {
 func (qp *QP) ctrlInitDone() {
 	op := qp.ctrlInit.pop()
 	k := qp.initiator.k
+	qp.initiator.prof.InitNICDone++
 	if op.span != nil {
 		op.span.InitDone = k.Now()
 	}
@@ -307,6 +308,7 @@ func (qp *QP) ctrlArrive() { qp.ctrlArriveOp(qp.ctrlWire.pop()) }
 // ctrlArriveOp charges the target NIC's priority path for an arrived
 // control op. Runs on the target's kernel.
 func (qp *QP) ctrlArriveOp(op flowOp) {
+	qp.target.prof.WireArrivals++
 	if op.span != nil {
 		op.span.Arrived = qp.target.k.Now()
 	}
@@ -337,6 +339,7 @@ func (qp *QP) noteArrival(op flowOp) {
 // postToTarget sends op across the wire to the target's shard; arrive
 // is the target-side stage to resume at.
 func (qp *QP) postToTarget(op flowOp, at sim.Time, arrive func(*QP, flowOp)) {
+	qp.initiator.prof.MailboxPosts++
 	qp.fabric.post(qp.initiator.shard, qp.target.shard, at, func() { arrive(qp, op) })
 }
 
@@ -358,10 +361,13 @@ func (qp *QP) ctrlServed() {
 // propagation hop) the loopback path.
 func (qp *QP) serveOp(op flowOp) {
 	k := qp.target.k
+	qp.target.prof.countKind(op.kind)
 	if op.span != nil {
 		op.span.Served = k.Now()
 		if !op.needsDeliver() {
-			qp.fabric.flight.Finish(op.span)
+			// The span ends here; fold it into the target's shard recorder
+			// (this code runs on the target's kernel).
+			qp.target.flight.Finish(op.span)
 		}
 	}
 	if qp.cross && op.kind == opRead {
@@ -394,6 +400,7 @@ func (qp *QP) serveOp(op flowOp) {
 // postToInitiator sends the serviced op's return hop to the initiator's
 // shard.
 func (qp *QP) postToInitiator(op flowOp, at sim.Time, credit, deliver bool) {
+	qp.target.prof.MailboxPosts++
 	qp.fabric.post(qp.target.shard, qp.initiator.shard, at, func() {
 		if credit {
 			qp.releaseCredit()
@@ -411,9 +418,10 @@ func (qp *QP) deliverNext() { qp.deliverOp(qp.deliver.pop()) }
 // deliverOp completes op at the initiator. Runs on the initiator's
 // kernel.
 func (qp *QP) deliverOp(op flowOp) {
+	qp.initiator.prof.Deliveries++
 	if op.span != nil {
 		op.span.Done = qp.initiator.k.Now()
-		qp.fabric.flight.Finish(op.span)
+		qp.initiator.flight.Finish(op.span)
 	}
 	op.invokeCB()
 }
@@ -426,17 +434,19 @@ func (qp *QP) loopBulkServed() { qp.loopServe(qp.loopBulk.pop()) }
 
 func (qp *QP) loopServe(op flowOp) {
 	k := qp.initiator.k // loopback QPs are never cross-shard
+	qp.initiator.prof.Loopbacks++
+	qp.initiator.prof.countKind(op.kind)
 	if op.span != nil {
 		op.span.Served = k.Now()
 		if !op.needsDeliver() {
-			qp.fabric.flight.Finish(op.span)
+			qp.initiator.flight.Finish(op.span)
 		}
 	}
 	op.apply()
 	if op.needsDeliver() {
 		if op.span != nil {
 			op.span.Done = k.Now()
-			qp.fabric.flight.Finish(op.span)
+			qp.initiator.flight.Finish(op.span)
 		}
 		op.invokeCB()
 	}
@@ -469,6 +479,7 @@ func (qp *QP) admitData(op flowOp) {
 // then the target's round-robin scheduler.
 func (qp *QP) transmit(op flowOp) {
 	qp.inFlight++
+	qp.initiator.prof.CreditGrants++
 	if op.span != nil {
 		op.span.Credit = qp.initiator.k.Now()
 	}
@@ -481,6 +492,7 @@ func (qp *QP) transmit(op flowOp) {
 func (qp *QP) bulkInitDone() {
 	op := qp.bulkInit.pop()
 	k := qp.initiator.k
+	qp.initiator.prof.InitNICDone++
 	if op.span != nil {
 		op.span.InitDone = k.Now()
 	}
@@ -499,6 +511,7 @@ func (qp *QP) bulkArrive() { qp.bulkArriveOp(qp.bulkWire.pop()) }
 // target's round-robin scheduler; bulk SENDs go to the target NIC
 // directly (they are not flow-controlled). Runs on the target's kernel.
 func (qp *QP) bulkArriveOp(op flowOp) {
+	qp.target.prof.WireArrivals++
 	if op.span != nil {
 		op.span.Arrived = qp.target.k.Now()
 	}
@@ -557,10 +570,11 @@ func (qp *QP) sendBulkServed() { qp.sendDeliver(qp.sendBulk.pop()) }
 // the initiator after propagation.
 func (qp *QP) sendDeliver(op flowOp) {
 	k := qp.target.k
+	qp.target.prof.countKind(opSend)
 	if op.span != nil {
 		op.span.Served = k.Now()
 		if op.doneCB == nil {
-			qp.fabric.flight.Finish(op.span)
+			qp.target.flight.Finish(op.span)
 		}
 	}
 	qp.target.recv(qp.initiator, op.payload)

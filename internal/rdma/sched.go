@@ -90,6 +90,7 @@ func (s *rrScheduler) pump() {
 		s.next++
 	}
 	s.inService = true
+	s.node.prof.SchedDispatches++
 	if op.span != nil {
 		op.span.Service = s.node.k.Now()
 	}
@@ -107,6 +108,7 @@ func (s *rrScheduler) onServed() {
 	s.current = flowOp{}
 	s.currentQ = nil
 	if op.kind == opFunc {
+		s.node.prof.countKind(opFunc)
 		if op.applyFn != nil {
 			op.applyFn()
 		}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"github.com/haechi-qos/haechi/internal/sim"
@@ -35,6 +36,7 @@ func chromeUS(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond)
 type pidTable struct {
 	ids   map[string]int
 	names []string
+	base  int // first assigned pid minus one (sharded export reserves low pids for shards)
 }
 
 func (p *pidTable) id(name string) int {
@@ -44,7 +46,7 @@ func (p *pidTable) id(name string) int {
 	if p.ids == nil {
 		p.ids = make(map[string]int)
 	}
-	id := len(p.names) + 1 // pid 0 renders oddly in some viewers
+	id := p.base + len(p.names) + 1 // pid 0 renders oddly in some viewers
 	p.ids[name] = id
 	p.names = append(p.names, name)
 	return id
@@ -57,11 +59,41 @@ func (p *pidTable) id(name string) int {
 // for the whole verb plus one nested slice per pipeline stage, so a
 // burst tenant's widening target-queue slices are directly visible in
 // Perfetto. Control spans emit a single slice.
+//
+// For a merged sharded recorder (MergeFlightRecorders over > 1 shard)
+// the layout changes: each shard becomes a process track ("shard-K",
+// pid K+1) and each QP a named thread within it (QP ids are
+// fabric-unique), so quantum-parallel shards render side by side and
+// cross-shard verbs are visible as slices whose target lives on another
+// track. Unsharded output is unchanged.
 func WriteChromeTrace(w io.Writer, fr *FlightRecorder, rec *Recorder) error {
+	sharded := fr.Sharded()
 	var pids pidTable
+	if sharded {
+		pids.base = fr.ShardCount() // reserve pids 1..shards for shard tracks
+	}
+	type threadKey struct{ pid, tid int }
+	var threadMeta []chromeEvent
+	seenThread := make(map[threadKey]bool)
 	var events []chromeEvent
 	for _, sp := range fr.Spans() {
-		pid := pids.id(sp.Initiator)
+		var pid int
+		if sharded {
+			pid = sp.Shard + 1
+			tk := threadKey{pid, sp.QP}
+			if !seenThread[tk] {
+				seenThread[tk] = true
+				threadMeta = append(threadMeta, chromeEvent{
+					Name: "thread_name",
+					Ph:   "M",
+					Pid:  pid,
+					Tid:  sp.QP,
+					Args: map[string]any{"name": sp.Initiator},
+				})
+			}
+		} else {
+			pid = pids.id(sp.Initiator)
+		}
 		cat := "data"
 		if sp.Control {
 			cat = "control"
@@ -118,15 +150,26 @@ func WriteChromeTrace(w io.Writer, fr *FlightRecorder, rec *Recorder) error {
 			})
 		}
 	}
-	meta := make([]chromeEvent, 0, len(pids.names))
+	meta := make([]chromeEvent, 0, fr.ShardCount()+len(pids.names)+len(threadMeta))
+	if sharded {
+		for s := 0; s < fr.ShardCount(); s++ {
+			meta = append(meta, chromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  s + 1,
+				Args: map[string]any{"name": fmt.Sprintf("shard-%d", s)},
+			})
+		}
+	}
 	for i, name := range pids.names {
 		meta = append(meta, chromeEvent{
 			Name: "process_name",
 			Ph:   "M",
-			Pid:  i + 1,
+			Pid:  pids.base + i + 1,
 			Args: map[string]any{"name": name},
 		})
 	}
+	meta = append(meta, threadMeta...)
 	return json.NewEncoder(w).Encode(chromeTrace{
 		TraceEvents:     append(meta, events...),
 		DisplayTimeUnit: "ns",

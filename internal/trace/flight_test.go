@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"github.com/haechi-qos/haechi/internal/sim"
 )
 
 func TestFlightRecorderValidation(t *testing.T) {
@@ -236,5 +238,159 @@ func TestSummaryIncludesAllObservedKinds(t *testing.T) {
 	// Sorted by kind value: claim (5) renders before the future kind.
 	if strings.Index(sum, "claim=1") > strings.Index(sum, future.String()+"=1") {
 		t.Errorf("summary %q not in kind order", sum)
+	}
+}
+
+// TestMergeFlightRecorders pins the deterministic merge of per-shard
+// recorders: spans in (End, shard) order with unique per-shard ID
+// bases, counters summed, and an actor's histograms folded together
+// even when its spans finished on different shards.
+func TestMergeFlightRecorders(t *testing.T) {
+	newShard := func(s int) *FlightRecorder {
+		fr, err := NewShardFlightRecorder(4, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr
+	}
+	finish := func(fr *FlightRecorder, actor string, done int64) *Span {
+		sp := fr.Begin(OpRead, false, actor, "dn", 1, 0)
+		sp.Done = sim.Time(done)
+		fr.Finish(sp)
+		return sp
+	}
+	fr0, fr1, fr2 := newShard(0), newShard(1), newShard(2)
+	finish(fr0, "c1", 100)
+	finish(fr0, "c1", 300)
+	finish(fr1, "c2", 100) // ties with fr0's first span: shard 0 wins
+	finish(fr1, "c1", 200) // c1 span finished on another shard
+	finish(fr2, "c3", 50)
+
+	m := MergeFlightRecorders(fr0, fr1, fr2)
+	if m.Started() != 5 || m.Finished() != 5 {
+		t.Errorf("started/finished = %d/%d, want 5/5", m.Started(), m.Finished())
+	}
+	if !m.Sharded() || m.ShardCount() != 3 {
+		t.Errorf("Sharded()/ShardCount() = %v/%d, want true/3", m.Sharded(), m.ShardCount())
+	}
+	spans := m.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("merged %d spans, want 5", len(spans))
+	}
+	wantOrder := []struct {
+		end   int64
+		shard int
+	}{{50, 2}, {100, 0}, {100, 1}, {200, 1}, {300, 0}}
+	ids := map[uint64]bool{}
+	for i, sp := range spans {
+		w := wantOrder[i]
+		if int64(sp.End()) != w.end || sp.Shard != w.shard {
+			t.Errorf("span %d = end %d shard %d, want end %d shard %d",
+				i, int64(sp.End()), sp.Shard, w.end, w.shard)
+		}
+		if ids[sp.ID] {
+			t.Errorf("duplicate merged span ID %d", sp.ID)
+		}
+		ids[sp.ID] = true
+		if want := uint64(sp.Shard) << 56; sp.ID&^(uint64(1)<<56-1) != want {
+			t.Errorf("span ID %#x missing shard-%d base", sp.ID, sp.Shard)
+		}
+	}
+	st := m.Stages()
+	if len(st) != 3 {
+		t.Fatalf("merged stages for %d actors, want 3", len(st))
+	}
+	if st[0].Actor != "c1" || st[0].Total.Count() != 3 {
+		t.Errorf("c1 merged histogram count = %d, want 3 (spans from two shards)", st[0].Total.Count())
+	}
+	// Identity on a single recorder: no copy, no shard marking.
+	if got := MergeFlightRecorders(fr0); got != fr0 || got.Sharded() {
+		t.Error("single-recorder merge is not the identity")
+	}
+}
+
+// TestFlightRecorderDropped pins the eviction counter the
+// trace/spans-dropped gauge exports.
+func TestFlightRecorderDropped(t *testing.T) {
+	fr, err := NewFlightRecorder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Dropped() != 0 {
+		t.Errorf("fresh recorder Dropped() = %d, want 0", fr.Dropped())
+	}
+	for i := 0; i < 5; i++ {
+		sp := fr.Begin(OpWrite, false, "c1", "dn", 1, 0)
+		sp.Done = 10
+		fr.Finish(sp)
+	}
+	if fr.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3 (5 finished, ring of 2)", fr.Dropped())
+	}
+}
+
+// TestWriteChromeTraceSharded verifies the sharded export shape: one
+// process track per shard (pid = shard+1) with shard-K process_name
+// metadata, spans on their beginning shard's track, and per-QP
+// thread_name metadata naming the initiator.
+func TestWriteChromeTraceSharded(t *testing.T) {
+	fr0, err := NewShardFlightRecorder(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr1, err := NewShardFlightRecorder(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := fr0.Begin(OpRead, false, "c1", "dn", 7, 100)
+	sp.Done = 150
+	fr0.Finish(sp)
+	sp = fr1.Begin(OpWrite, false, "c2", "dn", 9, 120)
+	sp.Done = 180
+	fr1.Finish(sp)
+	m := MergeFlightRecorders(fr0, fr1)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("sharded trace is not valid JSON: %v", err)
+	}
+	procs := map[int]string{}
+	threads := map[[2]int]string{}
+	spanTracks := map[string][2]int{}
+	for _, ev := range out.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procs[ev.Pid] = ev.Args.Name
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threads[[2]int{ev.Pid, ev.Tid}] = ev.Args.Name
+		case ev.Ph == "X":
+			spanTracks[ev.Name] = [2]int{ev.Pid, ev.Tid}
+		}
+	}
+	if procs[1] != "shard-0" || procs[2] != "shard-1" {
+		t.Errorf("process tracks = %v, want pid 1 -> shard-0, pid 2 -> shard-1", procs)
+	}
+	if got := spanTracks["READ"]; got != [2]int{1, 7} {
+		t.Errorf("c1 span on track %v, want pid 1 tid 7 (shard 0, QP 7)", got)
+	}
+	if got := spanTracks["WRITE"]; got != [2]int{2, 9} {
+		t.Errorf("c2 span on track %v, want pid 2 tid 9 (shard 1, QP 9)", got)
+	}
+	if threads[[2]int{1, 7}] != "c1" || threads[[2]int{2, 9}] != "c2" {
+		t.Errorf("thread names = %v, want QP tracks named after initiators", threads)
 	}
 }

@@ -64,6 +64,10 @@ type Span struct {
 	Initiator string
 	Target    string
 	QP        int
+	// Shard is the shard index of the recorder that began the span (the
+	// initiator's shard); 0 on the unsharded path. Sharded Chrome export
+	// groups spans into one process track per shard by this field.
+	Shard int
 
 	Posted   sim.Time
 	Credit   sim.Time

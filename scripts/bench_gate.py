@@ -13,6 +13,9 @@ machine-independent quantities instead:
   - the shard coordinator's throughput relative to a bare kernel running
     the same load in the same process (coordination_ratio, also a median
     of interleaved reps);
+  - the fully observed sharded cluster run's events-per-wall-second
+    relative to its blind twin (observe_overhead: per-shard recorders,
+    metrics sampling and the sanitizer all on — the cost of watching);
   - the sharded bench's deterministic event accounting (event, quantum,
     cross-message and idle-quanta counts), which must match the baseline
     exactly — any drift is a determinism regression, not noise.
@@ -43,6 +46,8 @@ def main():
     gate("wheel-vs-heap speedup", ci_k["speedup"], base_k["speedup"])
     gate("shard coordination ratio", ci_s["coordination_ratio"],
          base_s["coordination_ratio"])
+    gate("observe overhead", ci_k["observe_overhead"],
+         base_k["observe_overhead"])
 
     for f in ("events", "shards", "quanta", "cross_messages"):
         if ci_s[f] != base_s[f]:
