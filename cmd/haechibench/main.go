@@ -52,6 +52,7 @@ func run(args []string) int {
 		shards     = fs.Int("shards", 0, "partition each cluster onto this many shard kernels (0/1 = single kernel; changes output like -scale does)")
 		shardWork  = fs.Int("shard-workers", 0, "worker pool driving the shard kernels (0 = GOMAXPROCS; output is identical at any value)")
 		sanitize   = fs.Bool("sanitize", false, "enable runtime invariant checks (token conservation, pool floor, event order; output is identical, violations fail the run)")
+		chaosSpec  = fs.String("chaos", "", "inject a fault scenario into every cluster run (a preset such as set5, or a grammar string like 'crash@2.25:c=0;restart@5.5:c=0'; deterministic)")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
 		traceOut   = fs.String("trace", "", "write per-I/O spans as Chrome trace_event JSON (open in Perfetto); multi-run experiments get -NN suffixes")
 		traceSpans = fs.Int("trace-spans", 10000, "span ring capacity for -trace (histograms always cover every span)")
@@ -125,6 +126,7 @@ func run(args []string) int {
 	opts.Shards = *shards
 	opts.ShardWorkers = *shardWork
 	opts.Sanitize = *sanitize
+	opts.Chaos = *chaosSpec
 
 	exp := &exporter{traceOut: *traceOut, metricsOut: *metricsOut}
 	if *traceOut != "" || *metricsOut != "" {

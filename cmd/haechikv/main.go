@@ -36,6 +36,7 @@ func run(args []string, out *os.File) int {
 		records   = fs.Int("records", 4096, "records populated")
 		seed      = fs.Int64("seed", 1, "random seed")
 		congest   = fs.Int("congest-at", 0, "start background congestion at this measured period (0 = none)")
+		chaosSpec = fs.String("chaos", "", "inject a deterministic fault scenario (a preset such as set5, or e.g. 'crash@2.25:c=0;restart@5.5:c=0'; times in periods from run start, clients in tenant order)")
 		traceCap  = fs.Int("trace", 0, "record and dump the last N protocol events (QoS modes)")
 		traceDump = fs.String("trace-dump", "", "record per-I/O spans and write them as Chrome trace_event JSON to this file (open in Perfetto)")
 	)
@@ -55,6 +56,7 @@ func run(args []string, out *os.File) int {
 		Records:        *records,
 		Seed:           *seed,
 		TraceEvents:    *traceCap,
+		Chaos:          *chaosSpec,
 	}
 	if *traceDump != "" {
 		cfg.FlightSpans = 10000

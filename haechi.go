@@ -121,6 +121,15 @@ type Config struct {
 	// (kernel, NIC, engine, KV gauges) every interval of virtual time;
 	// export after Run with WriteMetricsCSV.
 	MetricsInterval time.Duration
+	// Chaos injects a deterministic fault scenario: a preset name (such
+	// as "set5") or a grammar string like
+	// "crash@2.25:c=0;restart@5.5:c=0;outage@7.25+1.25". Event times
+	// count fractional QoS periods from run start (warm-up included);
+	// clients are indexed in tenant order. Empty disables injection.
+	// The run stays fully deterministic, Report.FaultSummary describes
+	// what was injected and recovered, and the failure-aware invariants
+	// are enforced throughout (a violation fails Run).
+	Chaos string
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +196,13 @@ func New(cfg Config, tenants []Tenant) (*System, error) {
 			FlightSpans:     cfg.FlightSpans,
 			MetricsInterval: sim.Time(cfg.MetricsInterval),
 		}
+	}
+	if cfg.Chaos != "" {
+		// Chaos runs always sanitize: fault injection without the
+		// failure-aware invariants would hide exactly the bugs the
+		// scenarios exist to expose.
+		ccfg.Chaos = cfg.Chaos
+		ccfg.Sanitize = true
 	}
 
 	var names []string
@@ -399,6 +415,9 @@ type Report struct {
 	// EstimatedCapacity is the monitor's final per-period capacity
 	// estimate (QoS modes only).
 	EstimatedCapacity int64
+	// FaultSummary describes the injected fault scenario and its
+	// recovery accounting ("" unless Config.Chaos was set).
+	FaultSummary string
 }
 
 func buildReport(s *System, res *cluster.Results) *Report {
@@ -411,6 +430,25 @@ func buildReport(s *System, res *cluster.Results) *Report {
 	}
 	if mon := s.cluster.Monitor(); mon != nil {
 		rep.EstimatedCapacity = mon.Estimator().Current()
+	}
+	if fr := res.Faults; fr != nil {
+		rep.FaultSummary = fmt.Sprintf("scenario %q", fr.Scenario)
+		if fr.MonitorOutages > 0 {
+			rep.FaultSummary += fmt.Sprintf("; %d monitor outage(s) totaling %v",
+				fr.MonitorOutages, fr.MonitorOutageTime)
+		}
+		if fr.Suspicions > 0 {
+			rep.FaultSummary += fmt.Sprintf("; %d crash suspicion(s), %d reinstatement(s)",
+				fr.Suspicions, fr.Recoveries)
+		}
+		for _, cf := range fr.Clients {
+			if cf.Crashes > 0 {
+				rep.FaultSummary += fmt.Sprintf("; %s crashed %dx", s.names[cf.Index], cf.Crashes)
+				if cf.RejoinPeriod > 0 {
+					rep.FaultSummary += fmt.Sprintf(" (rejoined period %d)", cf.RejoinPeriod)
+				}
+			}
+		}
 	}
 	for i, cr := range res.Clients {
 		rep.Tenants = append(rep.Tenants, TenantResult{
@@ -456,6 +494,9 @@ func (r *Report) String() string {
 	}
 	if r.QoSOverheadFraction > 0 {
 		out += fmt.Sprintf("  qos overhead: %.3f%% of data-node NIC time\n", 100*r.QoSOverheadFraction)
+	}
+	if r.FaultSummary != "" {
+		out += fmt.Sprintf("  faults: %s\n", r.FaultSummary)
 	}
 	return out
 }

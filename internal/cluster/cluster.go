@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"github.com/haechi-qos/haechi/internal/chaos"
 	"github.com/haechi-qos/haechi/internal/core"
 	"github.com/haechi-qos/haechi/internal/kvstore"
 	"github.com/haechi-qos/haechi/internal/metrics"
@@ -33,6 +34,15 @@ type Client struct {
 	measuring  bool
 	skipNext   bool
 	lastPeriod int
+
+	// Per measured-period bookkeeping parallel to Periods: the absolute
+	// period number each entry closed and its real [from, to] span.
+	// Monitor outages stretch a period's wall time, so fault reporting
+	// must not reconstruct these from index arithmetic.
+	periodIdx     []int
+	periodFrom    []sim.Time
+	periodTo      []sim.Time
+	lastHarvestAt sim.Time
 }
 
 // Cluster is the assembled testbed.
@@ -72,6 +82,14 @@ type Cluster struct {
 	// checker is only touched by its own shard's events, and the
 	// checkers merge in shard order after the run.
 	san []*sanitize.Checker
+
+	// chaos is the compiled fault scenario (nil unless cfg.Chaos);
+	// warmupPeriods and runStart are stashed at Run time so fault
+	// reporting can map measured-period indices back to absolute period
+	// numbers and resolve scenario event times to absolute instants.
+	chaos         *chaos.Scenario
+	warmupPeriods int
+	runStart      sim.Time
 }
 
 // New assembles a cluster for the given tenant specs. In QoS modes every
@@ -167,6 +185,24 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 		}
 	}
 
+	if cfg.Chaos != "" {
+		sc, err := chaos.Parse(cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.Validate(len(specs), cfg.Mode != Bare); err != nil {
+			return nil, err
+		}
+		c.chaos = sc
+		if sc.Count().Crashes > 0 && cfg.FailureGrace == 0 {
+			// Crash injection needs failure detection or the crashed
+			// reservation stays stranded; default to the shortest grace
+			// that tolerates one missed end-of-period report.
+			cfg.FailureGrace = 2
+			c.cfg.FailureGrace = 2
+		}
+	}
+
 	if cfg.Mode != Bare {
 		est, err := core.NewCapacityEstimator(cfg.Params, cfg.ProfiledCapacity, cfg.Sigma)
 		if err != nil {
@@ -182,6 +218,9 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 		}
 		if cfg.AlertAfter > 0 {
 			opts = append(opts, core.WithAlertAfter(cfg.AlertAfter))
+		}
+		if cfg.FailureGrace > 0 {
+			opts = append(opts, core.WithFailureDetection(cfg.FailureGrace))
 		}
 		c.monitor, err = core.NewMonitor(cfg.Params, server, est, adm, opts...)
 		if err != nil {
@@ -315,20 +354,26 @@ func (c *Cluster) addClient(i int, spec ClientSpec) error {
 
 // harvest folds the previous period's completions into the client's logs.
 func (c *Cluster) harvest(rt *Client, period int) {
+	now := rt.Node.Kernel().Now()
 	if period <= 1 {
 		rt.lastPeriod = period
+		rt.lastHarvestAt = now
 		return
 	}
 	done := rt.Gen.TakePeriodCompleted()
-	rt.Timeline.Add(rt.Node.Kernel().Now(), float64(done))
+	rt.Timeline.Add(now, float64(done))
 	if rt.measuring {
 		if rt.skipNext {
 			rt.skipNext = false
 		} else {
 			rt.Periods.Observe(done)
+			rt.periodIdx = append(rt.periodIdx, period-1)
+			rt.periodFrom = append(rt.periodFrom, rt.lastHarvestAt)
+			rt.periodTo = append(rt.periodTo, now)
 		}
 	}
 	rt.lastPeriod = period
+	rt.lastHarvestAt = now
 }
 
 // Kernel exposes the simulation kernel (for scheduling experiment events

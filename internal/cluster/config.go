@@ -103,11 +103,29 @@ type Config struct {
 	Sigma float64
 	// AlertAfter configures under-use alerts (0 = off).
 	AlertAfter int
+	// FailureGrace enables the monitor's client failure detection: a
+	// client whose report slot stays static for this many consecutive
+	// periods is suspected crashed and its reservation returns to the
+	// pool until it reports again (core.WithFailureDetection). 0 = off,
+	// except that a Chaos scenario containing a crash defaults it to 2 —
+	// crash injection without detection would strand the reservation.
+	FailureGrace int
 	// Seed drives all randomness.
 	Seed int64
 	// Observe enables the observability layer (flight-recorder spans
 	// and metrics sampling); nil disables it. See Observe.
 	Observe *Observe
+	// Chaos is a fault-scenario spec (a chaos.Parse grammar string or a
+	// preset name such as "set5"); empty disables fault injection. The
+	// scenario compiles to virtual-time injections pre-scheduled on the
+	// owning components' kernels at setup, so a chaos run is exactly as
+	// deterministic — and, under sharding, as worker-count-independent —
+	// as a fault-free one. Results.Faults reports the injection and
+	// recovery accounting; with Sanitize on, the failure-aware invariants
+	// (crash quarantine, post-crash completions, reservation floor for
+	// surviving clients, rejoin monotonicity, reclamation conservation)
+	// are enforced throughout.
+	Chaos string
 	// Sanitize enables the runtime invariant sanitizer
 	// (internal/sanitize): token conservation per engine period, the
 	// global-pool floor, admission headroom, per-kernel (at, seq) event

@@ -74,6 +74,10 @@ type Results struct {
 	// it by wall-clock time gives the kernel's events-per-second figure
 	// cmd/haechibench reports.
 	EventsExecuted uint64
+	// Faults is the fault-injection and recovery accounting; nil unless
+	// Config.Chaos armed a scenario. Deterministic (part of the
+	// byte-identity surface).
+	Faults *FaultReport `json:",omitempty"`
 	// Sharding summarizes the sharded-kernel run; nil on the classic
 	// single-kernel path. Deterministic — it never includes the worker
 	// count (workers are pure concurrency; see Config.ShardWorkers).
@@ -117,6 +121,9 @@ func (c *Cluster) buildResults(measurePeriods int, serverStats rdma.Stats) (*Res
 	if c.group != nil {
 		res.EventsExecuted = c.group.Executed()
 		res.Sharding = c.shardingReport()
+	}
+	if c.chaos != nil {
+		res.Faults = c.buildFaults()
 	}
 	for _, p := range c.fabric.ExecProfiles() {
 		p := p

@@ -21,6 +21,10 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 	k := c.kernel
 	T := c.cfg.Params.Period
 	start := k.Now()
+	c.warmupPeriods = warmupPeriods
+	if err := c.armChaos(start); err != nil {
+		return nil, err
+	}
 
 	if c.cfg.Mode == Bare {
 		tick, err := k.Every(0, T, func() {
@@ -96,6 +100,7 @@ func (c *Cluster) Run(warmupPeriods, measurePeriods int) (*Results, error) {
 	if ob := c.cfg.Observe; ob != nil && ob.OnResults != nil {
 		ob.OnResults(res)
 	}
+	c.checkChaosInvariants(res)
 	// A sanitized run that broke an invariant fails loudly; the results
 	// are returned alongside so diagnostics can still inspect them.
 	return res, c.sanErr()

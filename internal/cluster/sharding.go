@@ -49,6 +49,10 @@ type ShardingReport struct {
 func (c *Cluster) runSharded(warmupPeriods, measurePeriods int) (*Results, error) {
 	T := c.cfg.Params.Period
 	start := c.kernel.Now()
+	c.warmupPeriods = warmupPeriods
+	if err := c.armChaos(start); err != nil {
+		return nil, err
+	}
 
 	byShard := make([][]*Client, len(c.kernels))
 	for _, rt := range c.clients {
@@ -157,6 +161,7 @@ func (c *Cluster) runSharded(warmupPeriods, measurePeriods int) (*Results, error
 	if ob := c.cfg.Observe; ob != nil && ob.OnResults != nil {
 		ob.OnResults(res)
 	}
+	c.checkChaosInvariants(res)
 	// See Run: a sanitized run that broke an invariant fails loudly.
 	return res, c.sanErr()
 }

@@ -86,6 +86,38 @@ type Engine struct {
 	reportTicker     *sim.Ticker
 	finalReportTimer sim.Timer
 
+	// Crash/restart state (fault injection). Tokens held at crash time are
+	// quarantined — not vanished — so the per-period conservation identity
+	// keeps holding through the crash window; the quarantine is released
+	// when the expired period finally rolls over after a restart.
+	quarRes       int64 // reservation tokens quarantined at crash
+	quarGlobal    int64 // claimed global tokens quarantined at crash
+	quarReleased  int64 // cumulative quarantined tokens released at rollover
+	crashInflight int   // I/Os in flight at crash time (may legally complete)
+	postCrashDone int64 // completions observed while crashed
+	crashes       int
+	restarts      int
+	crashAt       sim.Time
+	crashPeriod   int // period index current at crash time
+	restartAt     sim.Time
+	rejoinPending bool // restarted, waiting for the next period push
+	rejoinIndex   int  // period index of the post-restart rejoin
+	rejoinAt      sim.Time
+	savedOnPeriodStart func(int)
+
+	// Degraded local-token mode: entered when the monitor goes silent (no
+	// period push past the grace window). Normal global-pool claims are
+	// suppressed — the stale period's pool must not be dug further — and
+	// the engine probes the pool on bounded doubling backoff instead,
+	// serving demand from whatever local tokens remain.
+	degraded       bool
+	degradedSince  sim.Time
+	degradedNs     int64
+	degradedSpells int
+	degradedProbes uint64
+	probeBackoff   sim.Time
+	nextProbeAt    sim.Time
+
 	// OnPeriodStart, if set, is invoked when a new QoS period begins
 	// (after tokens are installed); the workload generator hooks it.
 	OnPeriodStart func(index int)
@@ -214,16 +246,87 @@ func (e *Engine) Stop() {
 	e.finalReportTimer.Cancel()
 }
 
-// Crash simulates a client failure for fault-injection tests: the engine
-// stops all protocol activity (ticks, reports, claims) and silently drops
-// its queued and future requests. The monitor's failure detection should
-// reclaim the client's reservation after its grace window.
+// Crash simulates a client failure for fault injection: the engine stops
+// all protocol activity (ticks, reports, claims) and silently drops its
+// queued and future requests. The monitor's failure detection should
+// reclaim the client's reservation after its grace window. Held tokens
+// move into quarantine so the conservation identity survives the crash
+// window; I/Os already posted to the NIC may still complete (they were on
+// the wire), but any completion beyond that count is a protocol violation
+// (the "post-crash-completion" invariant).
 func (e *Engine) Crash() {
+	if e.crashed {
+		return
+	}
 	e.crashed = true
+	e.crashes++
+	e.crashAt = e.k.Now()
+	e.crashPeriod = e.periodIndex
 	e.Stop()
+	if e.degraded {
+		e.leaveDegraded()
+	}
+	e.quarRes += e.resTokens
+	e.quarGlobal += e.localGlobal
+	e.resTokens = 0
+	e.localGlobal = 0
+	e.crashInflight = e.inflight
+	e.postCrashDone = 0
 	e.queue, e.head = nil, 0
 	e.sendQ, e.sendHead = nil, 0
+	e.savedOnPeriodStart = e.OnPeriodStart
 	e.OnPeriodStart = nil
+	if e.san != nil && e.periodIndex > 0 {
+		// Crash-time conservation: every reservation token of the current
+		// period is spent, yielded, or now quarantined.
+		if e.resUsed+e.quarRes+e.periodYielded != e.reservation {
+			e.san.Reportf("crash-quarantine", int64(e.k.Now()),
+				"engine-%d period %d: used %d + quarantined %d + yielded %d != reservation %d",
+				e.id, e.periodIndex, e.resUsed, e.quarRes, e.periodYielded, e.reservation)
+		}
+	}
+}
+
+// Restart revives a crashed engine (the recovery half of the chaos
+// layer): the engine rejoins with no tokens, treats the stale global pool
+// as exhausted until the monitor's next period push resynchronizes it,
+// restarts its token-management tick, and writes one recovery heartbeat
+// so the monitor's liveness scan reinstates the reservation at the next
+// period end. Pre-crash period counters (resUsed, periodYielded) are kept
+// until that rollover so the conservation identity — which now includes
+// the quarantined tokens — stays exact.
+func (e *Engine) Restart() error {
+	if !e.crashed {
+		return fmt.Errorf("core: Restart requires a crashed engine")
+	}
+	e.crashed = false
+	e.restarts++
+	e.restartAt = e.k.Now()
+	e.rejoinPending = true
+	e.resTokens = 0
+	e.localGlobal = 0
+	e.x = 0
+	e.poolExhausted = true // stale pool: probe, don't claim, until resync
+	e.reporting = false
+	e.OnPeriodStart = e.savedOnPeriodStart
+	e.savedOnPeriodStart = nil
+	t, err := e.k.Every(e.params.Tick, e.params.Tick, e.onTick)
+	if err != nil {
+		return err
+	}
+	e.tick = t
+	// Recovery heartbeat: a flagged report word that cannot collide with
+	// any seed, regular report, or tombstone, so the slot is guaranteed
+	// to flip and the monitor reinstates the reservation at the next
+	// period end (re-registration stays one-sided, like all
+	// client-to-server traffic).
+	w := PackReport(0, clampUint32(e.completed)|recoveryFlag)
+	if err := e.qp.WriteUint64(e.qos, e.reportOff, w, nil); err == nil {
+		e.reportsSent++
+		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Report, Actor: e.actor(),
+			A: 0, B: e.completed})
+	}
+	return nil
 }
 
 // EngineStats is a snapshot of protocol-overhead counters.
@@ -254,6 +357,61 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// FaultStats is a snapshot of the engine's crash/recovery and
+// degraded-mode accounting (all zero unless faults were injected).
+type FaultStats struct {
+	// Crashes and Restarts count fault transitions; CrashAt, RestartAt
+	// and RejoinAt are the most recent transition times (RejoinAt is when
+	// the first post-restart period push arrived, RejoinIndex its period).
+	Crashes     int
+	Restarts    int
+	CrashAt     sim.Time
+	CrashPeriod int
+	RestartAt   sim.Time
+	RejoinAt    sim.Time
+	RejoinIndex int
+	// QuarantinedRes/QuarantinedGlobal are tokens currently held in
+	// crash quarantine; QuarantineReleased is the cumulative count
+	// released at period rollovers after restarts.
+	QuarantinedRes     int64
+	QuarantinedGlobal  int64
+	QuarantineReleased int64
+	// PostCrashDone counts completions delivered while crashed (bounded
+	// by the in-flight window unless the invariant is violated).
+	PostCrashDone int64
+	// DegradedSpells/DegradedNs/DegradedProbes account local-token mode
+	// during monitor silence.
+	DegradedSpells int
+	DegradedNs     int64
+	DegradedProbes uint64
+}
+
+// FaultStats returns the engine's crash/recovery counters.
+func (e *Engine) FaultStats() FaultStats {
+	return FaultStats{
+		Crashes:            e.crashes,
+		Restarts:           e.restarts,
+		CrashAt:            e.crashAt,
+		CrashPeriod:        e.crashPeriod,
+		RestartAt:          e.restartAt,
+		RejoinAt:           e.rejoinAt,
+		RejoinIndex:        e.rejoinIndex,
+		QuarantinedRes:     e.quarRes,
+		QuarantinedGlobal:  e.quarGlobal,
+		QuarantineReleased: e.quarReleased,
+		PostCrashDone:      e.postCrashDone,
+		DegradedSpells:     e.degradedSpells,
+		DegradedNs:         e.degradedNs,
+		DegradedProbes:     e.degradedProbes,
+	}
+}
+
+// Crashed reports whether the engine is currently crashed.
+func (e *Engine) Crashed() bool { return e.crashed }
+
+// Degraded reports whether the engine is currently in local-token mode.
+func (e *Engine) Degraded() bool { return e.degraded }
+
 // drain admits queued requests while tokens allow (Fig. 3 flowchart):
 // each admitted request consumes one token — Example 1's accounting, where
 // the residual reservation is R minus the demand already admitted — and
@@ -279,8 +437,10 @@ func (e *Engine) drain() {
 			// While the pool is known-exhausted, only the tick's jittered
 			// retry probes it (step T4: the client waits for returned
 			// tokens or the next period); claiming on every arrival would
-			// turn the data node's NIC into an atomics hot spot.
-			if !e.poolExhausted {
+			// turn the data node's NIC into an atomics hot spot. In
+			// degraded mode claims are suppressed entirely — the stale
+			// period's pool must not be consumed.
+			if !e.poolExhausted && !e.degraded {
 				e.ensureFAA()
 			}
 			return
@@ -321,11 +481,42 @@ func compact(q []pendingReq, head int) ([]pendingReq, int) {
 func (e *Engine) fire(req pendingReq) {
 	e.sender(req.key, func() {
 		e.inflight--
+		if e.crashed {
+			// I/Os on the wire at crash time complete at the server
+			// regardless, but the dead client cannot observe them; any
+			// completion beyond that in-flight count is a protocol
+			// violation.
+			e.noteCrashedCompletion()
+			req.done()
+			return
+		}
 		e.completed++
 		e.totalCompleted++
 		req.done()
 		e.pump()
 	})
+}
+
+// noteCrashedCompletion accounts one I/O completion delivered to a
+// crashed engine and checks the no-completion-after-crash invariant:
+// only the I/Os in flight at crash time may legally complete.
+func (e *Engine) noteCrashedCompletion() {
+	e.postCrashDone++
+	if e.san != nil && e.postCrashDone > int64(e.crashInflight) {
+		e.san.Reportf("post-crash-completion", int64(e.k.Now()),
+			"engine-%d: %d completions after crash at t=%d exceed the %d in flight",
+			e.id, e.postCrashDone, int64(e.crashAt), e.crashInflight)
+	}
+}
+
+// DebugInjectPostCrashCompletion simulates a completion delivered to a
+// crashed engine beyond its in-flight window — a deliberate break of the
+// no-completion-after-crash invariant. It exists only so the sanitizer
+// regression test can prove the violation is caught; nothing in the
+// protocol calls it.
+func (e *Engine) DebugInjectPostCrashCompletion() {
+	e.crashInflight = 0
+	e.noteCrashedCompletion()
 }
 
 // ensureFAA claims a batch of global tokens with a single remote atomic,
@@ -395,6 +586,18 @@ func (e *Engine) onTick() {
 	if e.periodIndex == 0 {
 		return
 	}
+	if !e.degraded && e.k.Now() > e.periodEnd+2*e.params.CheckInterval {
+		// The monitor went silent: the period is overdue past the grace
+		// window (a fresh push normally lands within a propagation delay
+		// of the period end). Degrade to local-token mode — serve from
+		// whatever reservation tokens remain, never claim from the stale
+		// pool, and probe it on bounded backoff until the next push.
+		e.degraded = true
+		e.degradedSince = e.k.Now()
+		e.degradedSpells++
+		e.probeBackoff = e.params.Tick
+		e.nextProbeAt = e.k.Now()
+	}
 	e.x -= float64(e.params.Tick) / float64(e.params.Period) * float64(e.reservation)
 	if e.x < 0 {
 		e.x = 0
@@ -415,6 +618,18 @@ func (e *Engine) onTick() {
 		}
 		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Yield, Actor: e.actor(), A: y, B: returned})
 	}
+	if e.degraded {
+		if e.Pending() > 0 && e.k.Now() >= e.nextProbeAt {
+			e.degradedProbes++
+			e.probePool()
+			e.probeBackoff *= 2
+			if e.probeBackoff > e.params.Period {
+				e.probeBackoff = e.params.Period
+			}
+			e.nextProbeAt = e.k.Now() + e.probeBackoff
+		}
+		return
+	}
 	if e.Pending() > 0 && e.resTokens == 0 && e.localGlobal == 0 {
 		// Jitter the retry within the tick so competing clients probe the
 		// pool in varying order rather than a fixed creation order.
@@ -426,6 +641,30 @@ func (e *Engine) onTick() {
 			}
 		})
 	}
+}
+
+// probePool reads the global-token cell with a zero-delta FETCH_ADD
+// without acting on the result — the degraded-mode heartbeat against the
+// data node while the monitor is silent.
+func (e *Engine) probePool() {
+	if e.faaInFlight || e.periodIndex == 0 {
+		return
+	}
+	e.faaInFlight = true
+	e.faaIssued++
+	err := e.qp.FetchAdd(e.qos, globalTokenOff, 0, func(old int64) {
+		e.faaInFlight = false
+		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
+	})
+	if err != nil {
+		e.faaInFlight = false
+	}
+}
+
+// leaveDegraded closes a degraded-mode window and accounts its duration.
+func (e *Engine) leaveDegraded() {
+	e.degraded = false
+	e.degradedNs += int64(e.k.Now() - e.degradedSince)
 }
 
 // report writes the packed (residual, completed) word silently to the
@@ -469,16 +708,26 @@ func (e *Engine) handlePeriodStart(_ *rdma.Node, body any) {
 	if !ok || e.crashed {
 		return
 	}
+	if e.san != nil && m.Index <= e.periodIndex {
+		// Rejoin monotonicity: the monitor's period pushes arrive in FIFO
+		// order per QP and the period counter only ever increments, so a
+		// repeated or regressed index means the recovery path replayed a
+		// period.
+		e.san.Reportf("rejoin-monotonic", int64(e.k.Now()),
+			"engine-%d: period push %d not after current period %d",
+			e.id, m.Index, e.periodIndex)
+	}
 	if e.periodIndex > 0 {
 		e.PeriodLog.Observe(uint64(e.completed))
 		if e.san != nil {
 			// Token conservation for the finished period (pre-reset values):
 			// every reservation token was either spent on an admitted I/O,
-			// yielded by the X-counter decay, or is still held.
-			if e.resUsed+e.resTokens+e.periodYielded != e.reservation {
+			// yielded by the X-counter decay, quarantined by a crash, or is
+			// still held.
+			if e.resUsed+e.resTokens+e.periodYielded+e.quarRes != e.reservation {
 				e.san.Reportf("token-conservation", int64(e.k.Now()),
-					"engine-%d period %d: used %d + held %d + yielded %d != reservation %d",
-					e.id, e.periodIndex, e.resUsed, e.resTokens, e.periodYielded, e.reservation)
+					"engine-%d period %d: used %d + held %d + yielded %d + quarantined %d != reservation %d",
+					e.id, e.periodIndex, e.resUsed, e.resTokens, e.periodYielded, e.quarRes, e.reservation)
 			}
 			if e.resTokens < 0 || e.localGlobal < 0 {
 				e.san.Reportf("token-conservation", int64(e.k.Now()),
@@ -486,6 +735,20 @@ func (e *Engine) handlePeriodStart(_ *rdma.Node, body any) {
 					e.id, e.periodIndex, e.resTokens, e.localGlobal)
 			}
 		}
+	}
+	if e.degraded {
+		e.leaveDegraded()
+	}
+	if e.quarRes > 0 || e.quarGlobal > 0 {
+		// The quarantined tokens' period is over: they expired with it (the
+		// monitor re-seeds reservations every period), so release them.
+		e.quarReleased += e.quarRes + e.quarGlobal
+		e.quarRes, e.quarGlobal = 0, 0
+	}
+	if e.rejoinPending {
+		e.rejoinPending = false
+		e.rejoinIndex = m.Index
+		e.rejoinAt = e.k.Now()
 	}
 	e.periodIndex = m.Index
 	e.periodEnd = sim.Time(m.EndAt)

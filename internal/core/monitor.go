@@ -22,9 +22,13 @@ type monitorClient struct {
 	// Failure detection: lastWord is the report slot's content at the
 	// previous period end; stalePeriods counts consecutive periods
 	// without any slot change; suspected marks a client presumed crashed.
+	// suspectedAt/reinstatedAt are the most recent transition times
+	// (zero if the transition never happened).
 	lastWord     uint64
 	stalePeriods int
 	suspected    bool
+	suspectedAt  sim.Time
+	reinstatedAt sim.Time
 	// violated marks that Definition 2's runtime local-capacity
 	// condition failed for this client in the current period.
 	violated bool
@@ -82,6 +86,14 @@ type Monitor struct {
 	sumRes        int64
 	initialGlobal int64
 	reporting     bool
+
+	// Outage state (fault injection): while paused the period machine and
+	// the check loop are stopped; one-sided client traffic against the QoS
+	// region is unaffected (the data node's memory stays served).
+	paused      bool
+	outages     int
+	outageSince sim.Time
+	outageNs    int64
 
 	checkTicker *sim.Ticker
 	periodTimer sim.Timer
@@ -245,6 +257,68 @@ func (m *Monitor) Stop() {
 	m.periodTimer.Cancel()
 }
 
+// Outage pauses the monitor process for d of virtual time (fault
+// injection): the period machine and the check loop stop, so no tokens
+// are pushed, no conversion runs and no liveness is observed until the
+// window ends. One-sided client I/O and claims against the data node's
+// memory keep being served — only the monitor is down. On resume the
+// stale period is closed (harvest, liveness, capacity update) and a
+// fresh one starts, resynchronizing every engine's token state.
+func (m *Monitor) Outage(d sim.Time) {
+	if !m.running || m.paused || d <= 0 {
+		return
+	}
+	m.paused = true
+	m.outages++
+	m.outageSince = m.k.Now()
+	if m.checkTicker != nil {
+		m.checkTicker.Stop()
+		m.checkTicker = nil
+	}
+	m.periodTimer.Cancel()
+	m.k.Schedule(d, m.resume)
+}
+
+// resume ends an outage window: restart the check loop and roll the
+// overdue period.
+func (m *Monitor) resume() {
+	if !m.running || !m.paused {
+		return
+	}
+	m.paused = false
+	m.outageNs += int64(m.k.Now() - m.outageSince)
+	t, err := m.k.Every(m.params.CheckInterval, m.params.CheckInterval, m.check)
+	if err == nil {
+		m.checkTicker = t
+	}
+	m.endPeriod()
+}
+
+// Paused reports whether the monitor is currently in an outage window.
+func (m *Monitor) Paused() bool { return m.paused }
+
+// OutageStats returns how many outage windows were injected and their
+// total closed duration in nanoseconds of virtual time.
+func (m *Monitor) OutageStats() (count int, ns int64) { return m.outages, m.outageNs }
+
+// SuspectedAt returns when the client was most recently suspected by
+// failure detection (0 if never).
+func (m *Monitor) SuspectedAt(id int) sim.Time {
+	if id < 0 || id >= len(m.clients) {
+		return 0
+	}
+	return m.clients[id].suspectedAt
+}
+
+// ReinstatedAt returns when the client was most recently reinstated by
+// failure detection (0 if never).
+func (m *Monitor) ReinstatedAt(id int) sim.Time {
+	if id < 0 || id >= len(m.clients) {
+		return 0
+	}
+	return m.clients[id].reinstatedAt
+}
+
 // startPeriod implements Fig. 5 steps T1: generate Omega tokens, push
 // reservations, initialize the global pool.
 func (m *Monitor) startPeriod() {
@@ -277,6 +351,22 @@ func (m *Monitor) startPeriod() {
 			m.san.Reportf("reservation-floor", int64(m.k.Now()),
 				"period %d: negative budget split (sumRes %d, initialGlobal %d)",
 				m.periodIndex, m.sumRes, m.initialGlobal)
+		}
+		// Reclamation conservation: a suspected client's reservation is
+		// withheld from the period budget (freeing the capacity for the
+		// pool) but stays admitted — it must come back when the client
+		// does. Issued plus suspended reservations always equal the
+		// admitted total.
+		var suspended int64
+		for _, c := range m.clients {
+			if c.active && c.suspected {
+				suspended += c.reservation
+			}
+		}
+		if m.sumRes+suspended != m.adm.Reserved() {
+			m.san.Reportf("reclamation-conservation", int64(m.k.Now()),
+				"period %d: issued %d + suspended %d != admitted %d",
+				m.periodIndex, m.sumRes, suspended, m.adm.Reserved())
 		}
 	}
 	m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.PeriodStart, Actor: "monitor",
@@ -320,12 +410,12 @@ func (m *Monitor) startPeriod() {
 // the pool with a loop-back atomic; on the first decrease signal
 // reporting; while reporting, convert unused reservations.
 func (m *Monitor) check() {
-	if !m.running || m.periodIndex == 0 {
+	if !m.running || m.paused || m.periodIndex == 0 {
 		return
 	}
 	pi := m.periodIndex
 	_ = m.loop.FetchAdd(m.region, globalTokenOff, 0, func(old int64) {
-		if pi != m.periodIndex || !m.running {
+		if pi != m.periodIndex || !m.running || m.paused {
 			return
 		}
 		if m.san != nil {
@@ -386,7 +476,8 @@ func (m *Monitor) detectLocalViolations() {
 		if err != nil {
 			continue
 		}
-		residual, completed := UnpackReport(w)
+		residual, raw := UnpackReport(w)
+		completed := liveCompleted(raw)
 		// Definition 2 guarantees only continuously backlogged clients; a
 		// client still holding reservation tokens has insufficient demand
 		// (it is yielding), so a completion shortfall is its own choice,
@@ -468,7 +559,11 @@ func (m *Monitor) endPeriod() {
 		if c.suspected {
 			continue
 		}
-		_, completed := UnpackReport(w)
+		_, raw := UnpackReport(w)
+		// A just-reinstated client's slot may hold its flagged restart
+		// heartbeat rather than a regular report; strip the flag before
+		// using the count.
+		completed := liveCompleted(raw)
 		c.lastUsage = int64(completed)
 		used[c.id] = int64(completed)
 		reserved[c.id] = c.reservation
@@ -520,6 +615,7 @@ func (m *Monitor) observeLiveness(c *monitorClient, word uint64) {
 		c.stalePeriods = 0
 		if c.suspected {
 			c.suspected = false
+			c.reinstatedAt = m.k.Now()
 			m.FailureRecoveries++
 			m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.FailureRecover, Actor: "monitor",
 				A: int64(c.id)})
@@ -529,7 +625,16 @@ func (m *Monitor) observeLiveness(c *monitorClient, word uint64) {
 	c.stalePeriods++
 	if !c.suspected && c.stalePeriods >= m.failureGrace {
 		c.suspected = true
+		c.suspectedAt = m.k.Now()
 		m.FailureSuspicions++
+		// Tombstone the slot and the liveness baseline: the word is
+		// unreachable by any honest report, so whatever a restarted
+		// client writes — even a byte-identical repeat of its pre-crash
+		// report — is observed as a change and reinstates it. Suspected
+		// slots are excluded from harvesting, conversion and violation
+		// scans, so the tombstone only ever feeds this comparison.
+		_ = m.region.PutUint64(reportSlotOffset(c.id), tombstoneWord)
+		c.lastWord = tombstoneWord
 		m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.FailureSuspect, Actor: "monitor",
 			A: int64(c.id)})
 	}

@@ -18,6 +18,27 @@ func UnpackReport(v uint64) (residual, completed uint32) {
 	return uint32(v >> 32), uint32(v)
 }
 
+// Reserved report-word encodings for the failure protocol. Honest
+// per-period counts never approach 2^31, so flagged words cannot
+// collide with regular reports.
+const (
+	// recoveryFlag marks a restart heartbeat in the completed half of a
+	// report word: the flagged word is guaranteed to differ from any
+	// seed, regular report, or tombstone, so a restarted client's first
+	// write always flips its slot and the monitor's liveness scan
+	// reinstates it. The monitor strips the flag before using the count.
+	recoveryFlag uint32 = 1 << 31
+	// tombstoneWord is what the monitor writes into a suspected client's
+	// slot (and its liveness baseline): unreachable by any honest report,
+	// so whatever a restarted client writes is observed as a change even
+	// if it repeats the exact pre-crash report.
+	tombstoneWord uint64 = 0xFFFFFFFF_FFFFFFFF
+)
+
+// liveCompleted strips the recovery flag from the completed half of a
+// report word.
+func liveCompleted(completed uint32) uint32 { return completed &^ recoveryFlag }
+
 // clampUint32 saturates a non-negative int64 into uint32 range.
 func clampUint32(v int64) uint32 {
 	if v < 0 {

@@ -54,6 +54,14 @@ type Options struct {
 	// checks are passive: results are byte-identical with it on or off,
 	// but an invariant breach fails the run.
 	Sanitize bool
+	// Chaos injects a fault scenario (an internal/chaos grammar string or
+	// preset name) into every cluster the experiment constructs; empty
+	// disables injection. Scenario times count fractional QoS periods
+	// from run start, so pick them against WarmupPeriods+MeasurePeriods.
+	// Injection is deterministic: a chaos run replays byte-identically
+	// like a fault-free one. Set 5 ignores this and supplies its own
+	// scenarios.
+	Chaos string
 }
 
 // NewDefaultOptions returns the fast defaults.
@@ -152,6 +160,7 @@ func (o Options) baseConfig(mode cluster.Mode) cluster.Config {
 	cfg.Shards = o.Shards
 	cfg.ShardWorkers = o.ShardWorkers
 	cfg.Sanitize = o.Sanitize
+	cfg.Chaos = o.Chaos
 	return cfg
 }
 

@@ -23,6 +23,7 @@ var registry = map[string]Func{
 	"ablation":    Ablation,
 	"limits":      Limits,
 	"multiserver": MultiServer,
+	"set5":        Set5,
 }
 
 // aliases map alternative names (paper figure/experiment numbering) onto
@@ -43,11 +44,13 @@ var aliases = map[string]string{
 	"fig17":  "fig16",
 	"4under": "fig18",
 	"fig19":  "fig18",
+	"chaos":  "set5",
+	"5":      "set5",
 }
 
 // Order is the canonical execution order for -all runs.
 var Order = []string{
-	"config", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig16", "fig18", "ablation", "limits", "multiserver",
+	"config", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig16", "fig18", "set5", "ablation", "limits", "multiserver",
 }
 
 // Lookup resolves an experiment id (or alias) to its function.

@@ -115,7 +115,9 @@ func (b *BackgroundJob) issue() {
 // assignment pins "bg/"-prefixed nodes there), so the hop is a plain
 // same-kernel schedule even in a sharded run.
 func (b *BackgroundJob) onInit() {
-	b.initiator.k.Schedule(b.fabric.cfg.PropagationDelay, b.onArriveFn)
+	// onArrive enqueues a fresh flowOp rather than popping a FIFO, so a
+	// storm-jittered arrival needs no ordering horizon here.
+	b.initiator.k.Schedule(b.fabric.cfg.PropagationDelay+b.fabric.wireExtra(b.initiator.k), b.onArriveFn)
 }
 
 // onArrive: the I/O reached the target; queue it at the round-robin

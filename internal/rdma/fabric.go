@@ -153,6 +153,10 @@ type Fabric struct {
 	shardKernels []*sim.Kernel
 	assign       func(name string, kind NodeKind) int
 	post         func(src, dst int, at sim.Time, fn func())
+
+	// storms holds armed link-jitter windows (see AddLinkStorm).
+	// Immutable once the run starts; empty in every non-chaos run.
+	storms []wireStorm
 }
 
 // NewFabric creates a fabric on kernel k with the given performance model.
@@ -349,6 +353,51 @@ func (f *Fabric) Connect(initiator, target *Node) (*QP, error) {
 	}
 	qp.bindStages()
 	return qp, nil
+}
+
+// wireStorm is a jitter window on every wire hop: while the virtual
+// clock is inside [from, to) each hop pays a uniformly drawn extra delay
+// in [0, extra] on top of PropagationDelay. Storms are armed before the
+// run starts and never mutated afterwards, so concurrent shard kernels
+// may read the slice without synchronization; the random draw itself
+// always comes from the executing kernel's own RNG, which keeps sharded
+// runs byte-replayable.
+type wireStorm struct {
+	from, to sim.Time
+	extra    sim.Time
+}
+
+// AddLinkStorm arms a link-jitter storm: between from and to every wire
+// hop is stretched by a per-hop uniform extra delay in [0, extra]. Must
+// be called before the run starts (fault scenarios compile their storms
+// at cluster setup).
+func (f *Fabric) AddLinkStorm(from, to, extra sim.Time) error {
+	if extra <= 0 {
+		return fmt.Errorf("rdma: link storm extra delay must be positive, got %v", extra)
+	}
+	if to <= from {
+		return fmt.Errorf("rdma: link storm window [%v, %v) is empty", from, to)
+	}
+	f.storms = append(f.storms, wireStorm{from: from, to: to, extra: extra})
+	return nil
+}
+
+// wireExtra returns the extra wire delay active at k.Now(), drawing from
+// the executing kernel's RNG. With no storms armed it returns 0 without
+// touching the RNG, so runs without chaos keep their exact event and
+// random sequences.
+func (f *Fabric) wireExtra(k *sim.Kernel) sim.Time {
+	if len(f.storms) == 0 {
+		return 0
+	}
+	now := k.Now()
+	var extra sim.Time
+	for _, s := range f.storms {
+		if now >= s.from && now < s.to {
+			extra += sim.Time(k.Rand().Int63n(int64(s.extra) + 1))
+		}
+	}
+	return extra
 }
 
 // twoSidedExtraWeight is the additional initiation cost of a two-sided

@@ -73,6 +73,21 @@ type QP struct {
 	loopBulk  opFIFO // loopback bulk ops at the initiator NIC
 	deliver   opFIFO // completions awaiting delivery at the initiator
 
+	// Wire arrival horizons. The FIFO pipeline pairs each wire push with
+	// one delayed event, which is only correct while arrivals happen in
+	// push order — guaranteed when the wire is a constant delay, but not
+	// under a link-jitter storm, whose random extra could reorder two
+	// hops. Each wire direction therefore clamps its arrival time to be
+	// no earlier than the previous arrival on the same wire. Each horizon
+	// has a single writer kernel: ctrlWireAt and bulkWireAt are written
+	// only on the initiator's kernel (ctrlInitDone/bulkInitDone),
+	// backWireAt only on the target's (serveOp/sendDeliver). With no
+	// storm armed the clamp never binds (arrivals are already
+	// non-decreasing), so the event sequence is unchanged.
+	ctrlWireAt sim.Time
+	bulkWireAt sim.Time
+	backWireAt sim.Time
+
 	// Stage callbacks, bound once at Connect.
 	ctrlInitDoneFn func()
 	ctrlArriveFn   func()
@@ -294,12 +309,27 @@ func (qp *QP) ctrlInitDone() {
 	if op.span != nil {
 		op.span.InitDone = k.Now()
 	}
+	at := qp.wireAt(k, &qp.ctrlWireAt)
 	if qp.cross {
-		qp.postToTarget(op, k.Now()+qp.fabric.cfg.PropagationDelay, (*QP).ctrlArriveOp)
+		qp.postToTarget(op, at, (*QP).ctrlArriveOp)
 		return
 	}
 	qp.ctrlWire.push(op)
-	k.Schedule(qp.fabric.cfg.PropagationDelay, qp.ctrlArriveFn)
+	k.At(at, qp.ctrlArriveFn)
+}
+
+// wireAt computes a wire hop's arrival time — propagation plus any
+// storm-drawn extra — clamped to the given direction's arrival horizon
+// so arrivals stay in push order (see the horizon fields). Cross-shard
+// the returned time is always ≥ now+PropagationDelay, the coordinator's
+// lookahead, so the hop remains a legal mailbox message under storms.
+func (qp *QP) wireAt(k *sim.Kernel, horizon *sim.Time) sim.Time {
+	at := k.Now() + qp.fabric.cfg.PropagationDelay + qp.fabric.wireExtra(k)
+	if at < *horizon {
+		at = *horizon
+	}
+	*horizon = at
+	return at
 }
 
 // ctrlArrive: a control op reached the target (same-shard FIFO path).
@@ -388,12 +418,12 @@ func (qp *QP) serveOp(op flowOp) {
 		if !holdsCredit && !deliver {
 			return
 		}
-		qp.postToInitiator(op, k.Now()+qp.fabric.cfg.PropagationDelay, holdsCredit, deliver)
+		qp.postToInitiator(op, qp.wireAt(k, &qp.backWireAt), holdsCredit, deliver)
 		return
 	}
 	if op.needsDeliver() {
 		qp.deliver.push(op)
-		k.Schedule(qp.fabric.cfg.PropagationDelay, qp.deliverFn)
+		k.At(qp.wireAt(k, &qp.backWireAt), qp.deliverFn)
 	}
 }
 
@@ -496,12 +526,13 @@ func (qp *QP) bulkInitDone() {
 	if op.span != nil {
 		op.span.InitDone = k.Now()
 	}
+	at := qp.wireAt(k, &qp.bulkWireAt)
 	if qp.cross {
-		qp.postToTarget(op, k.Now()+qp.fabric.cfg.PropagationDelay, (*QP).bulkArriveOp)
+		qp.postToTarget(op, at, (*QP).bulkArriveOp)
 		return
 	}
 	qp.bulkWire.push(op)
-	k.Schedule(qp.fabric.cfg.PropagationDelay, qp.bulkArriveFn)
+	k.At(at, qp.bulkArriveFn)
 }
 
 // bulkArrive: a bulk-class op reached the target (same-shard FIFO path).
@@ -582,11 +613,11 @@ func (qp *QP) sendDeliver(op flowOp) {
 		return
 	}
 	if qp.cross {
-		qp.postToInitiator(op, k.Now()+qp.fabric.cfg.PropagationDelay, false, true)
+		qp.postToInitiator(op, qp.wireAt(k, &qp.backWireAt), false, true)
 		return
 	}
 	qp.deliver.push(op)
-	k.Schedule(qp.fabric.cfg.PropagationDelay, qp.deliverFn)
+	k.At(qp.wireAt(k, &qp.backWireAt), qp.deliverFn)
 }
 
 // Read performs a one-sided RDMA READ of size bytes at off in region r.

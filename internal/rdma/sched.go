@@ -115,7 +115,10 @@ func (s *rrScheduler) onServed() {
 		if op.completeFn != nil {
 			// opFunc injectors (background jobs) are always same-shard:
 			// their private initiators are assigned to the target's shard.
-			s.node.k.Schedule(s.node.fabric.cfg.PropagationDelay, op.completeFn)
+			// The per-op bound completion needs no arrival horizon under a
+			// link storm: nothing pops a FIFO on this path.
+			f := s.node.fabric
+			s.node.k.Schedule(f.cfg.PropagationDelay+f.wireExtra(s.node.k), op.completeFn)
 		}
 	} else {
 		op.qp.serveOp(op)

@@ -23,6 +23,23 @@
 //     sorted by (at, seq, src), and never in the destination's past;
 //   - background-job window bounds: 0 <= outstanding <= window.
 //
+// Chaos runs (cluster.Config.Chaos, DESIGN.md §12) add failure-aware
+// invariants on top:
+//
+//   - crash-quarantine conservation: tokens held by a crashed client
+//     are quarantined, never spent, and released exactly once on
+//     restart ("crash-quarantine");
+//   - no completion after crash: a crashed engine observes no further
+//     I/O completions until it restarts ("post-crash-completion");
+//   - rejoin monotonicity: a restarted client's period index resumes
+//     strictly past its crash point ("rejoin-monotonic");
+//   - reclamation conservation: reservation reclaimed by the failure
+//     detector equals what the crashed client held
+//     ("reclamation-conservation");
+//   - surviving-client reservation floor: clients that did not crash
+//     meet their reservation in every window not excused by an
+//     injected fault ("reservation-floor-survivor").
+//
 // Violations are collected (capped), never panic mid-run, and surface
 // as an error from cluster.Run — so the deliberately-injected token
 // leak in the regression suite fails loudly while production runs stay
@@ -37,7 +54,10 @@ import (
 // Violation is one detected invariant breach.
 type Violation struct {
 	// Check names the invariant ("token-conservation", "kernel-order",
-	// "pool-floor", "reservation-floor", "shard-mailbox", "bg-window").
+	// "pool-floor", "reservation-floor", "shard-mailbox", "bg-window",
+	// and under chaos "crash-quarantine", "post-crash-completion",
+	// "rejoin-monotonic", "reclamation-conservation",
+	// "reservation-floor-survivor").
 	Check string
 	// At is the virtual time (ns) when the breach was observed.
 	At int64
