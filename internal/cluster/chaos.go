@@ -276,4 +276,3 @@ func (c *Cluster) checkChaosInvariants(res *Results) {
 		}
 	}
 }
-

@@ -83,6 +83,12 @@ type Cluster struct {
 	// checkers merge in shard order after the run.
 	san []*sanitize.Checker
 
+	// sharedKeys is the default scrambled-zipfian chooser, built once and
+	// shared by every client that does not bring its own: Next is a pure
+	// function of the caller's RNG, so one chooser serves 10^6 tenants
+	// (each holds its own rand.Rand) instead of 10^6 identical zeta tables.
+	sharedKeys *workload.ScrambledZipfian
+
 	// chaos is the compiled fault scenario (nil unless cfg.Chaos);
 	// warmupPeriods and runStart are stashed at Run time so fault
 	// reporting can map measured-period indices back to absolute period
@@ -101,6 +107,11 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 	}
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("cluster: at least one client spec required")
+	}
+	if cfg.Params.MaxClients < len(specs) {
+		// Fleet runs exceed the default report-table width; the table is
+		// sized per admitted client, so growing it does not perturb timing.
+		cfg.Params.MaxClients = len(specs)
 	}
 	k := sim.New(cfg.Seed)
 	fabric, err := rdma.NewFabric(k, cfg.Fabric)
@@ -126,16 +137,17 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		var clientSeq int
 		assign := func(name string, kind rdma.NodeKind) int {
 			// Background initiators ("bg/…") inject at the data node's
 			// scheduler directly and must share its kernel.
 			if kind == rdma.ServerNode || strings.HasPrefix(name, "bg/") {
 				return 0
 			}
-			s := 1 + clientSeq%(shards-1)
-			clientSeq++
-			return s
+			// Hash the stable node name, not insertion order: a client must
+			// land on the same shard regardless of the order tenants were
+			// declared in, or re-ordering a spec list silently reshuffles
+			// every placement (and with it the per-shard event streams).
+			return 1 + int(fnv32(name)%uint32(shards-1))
 		}
 		if err := fabric.EnableSharding(kernels, assign, group.Post); err != nil {
 			return nil, err
@@ -234,6 +246,13 @@ func New(cfg Config, specs []ClientSpec) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: client %d: %w", i, err)
 		}
 	}
+	if c.san != nil {
+		// After the nodes exist: the fabric's structural checks (QP-cache
+		// occupancy among them) attach per shard like every other checker.
+		if err := fabric.SetSanitizers(c.san); err != nil {
+			return nil, err
+		}
+	}
 	if err := c.setupObserve(); err != nil {
 		return nil, err
 	}
@@ -265,15 +284,18 @@ func (c *Cluster) addClient(i int, spec ClientSpec) error {
 	rt.Timeline.Name = fmt.Sprintf("client-%02d", i)
 
 	if spec.Keys == nil {
-		n := uint64(c.cfg.Records)
-		if n == 0 {
-			n = 1
+		if c.sharedKeys == nil {
+			n := uint64(c.cfg.Records)
+			if n == 0 {
+				n = 1
+			}
+			z, err := workload.NewScrambledZipfian(n)
+			if err != nil {
+				return err
+			}
+			c.sharedKeys = z
 		}
-		z, err := workload.NewScrambledZipfian(n)
-		if err != nil {
-			return err
-		}
-		rt.Spec.Keys = z
+		rt.Spec.Keys = c.sharedKeys
 	}
 	if rt.Spec.Demand == nil {
 		rt.Spec.Demand = UnlimitedDemand()
@@ -296,22 +318,39 @@ func (c *Cluster) addClient(i int, spec ClientSpec) error {
 
 	// The data path: one-sided GET (or two-sided RPC for the comparison
 	// curves), with a fraction of one-sided record WRITEs when the spec
-	// requests a YCSB-style update mix. Errors cannot occur for primed
-	// in-range keys; surface any as a completion so closed loops never
-	// hang.
-	rng := rand.New(rand.NewSource(c.cfg.Seed ^ int64(i)<<17))
-	updateValue := make([]byte, c.cfg.Store.RecordSize)
+	// requests a YCSB-style update mix. The per-client adapter queues the
+	// done callback and hands kv a completion method bound once, so a
+	// steady-state I/O allocates no closure. Update state is lazy: a pure
+	// GET tenant (the fleet default) carries no per-client RNG or value
+	// buffer.
+	ad := &ioAdapter{}
+	ad.onGetFn = func([]byte, error) { ad.complete() }
+	ad.onPutFn = func(error) { ad.complete() }
+	var rng *rand.Rand
+	var updateValue []byte
+	if spec.UpdateFraction > 0 {
+		rng = rand.New(rand.NewSource(c.cfg.Seed ^ int64(i)<<17))
+		updateValue = make([]byte, c.cfg.Store.RecordSize)
+	}
 	sender := func(key uint64, done func()) {
-		if c.cfg.TwoSided {
-			_ = kv.GetTwoSided(key, func([]byte, error) { done() })
-			return
-		}
-		if spec.UpdateFraction > 0 && rng.Float64() < spec.UpdateFraction {
+		ad.push(done)
+		var err error
+		switch {
+		case c.cfg.TwoSided:
+			err = kv.GetTwoSided(key, ad.onGetFn)
+		case updateValue != nil && rng.Float64() < spec.UpdateFraction:
 			updateValue[0] = byte(key)
-			_ = kv.Update(key, updateValue, func(error) { done() })
-			return
+			err = kv.Update(key, updateValue, ad.onPutFn)
+		default:
+			err = kv.Get(key, ad.onGetFn)
 		}
-		_ = kv.Get(key, func([]byte, error) { done() })
+		if err != nil {
+			// The kv layer never invokes the callback when it returns an
+			// error, so the just-pushed done is still the newest entry.
+			// Dropping it preserves the old behaviour (errors cannot occur
+			// for primed in-range keys).
+			ad.unpush()
+		}
 	}
 
 	var submit workload.Submit
@@ -521,4 +560,46 @@ func (c *Cluster) EnableTrace(capacity int) (*trace.Recorder, error) {
 		}
 	}
 	return rec, nil
+}
+
+// ioAdapter bridges one client's kv completions back to workload done
+// callbacks without a per-I/O closure. All of a client's data I/Os ride
+// one QP in one service class (GETs and record WRITEs are both bulk;
+// two-sided responses are served FIFO by the server CPU), so completions
+// arrive in issue order and the oldest pending done always matches.
+type ioAdapter struct {
+	pending []func()
+	head    int
+	onGetFn func([]byte, error)
+	onPutFn func(error)
+}
+
+func (a *ioAdapter) push(done func()) { a.pending = append(a.pending, done) }
+
+// unpush removes the most recently pushed entry (issue-error path only).
+func (a *ioAdapter) unpush() { a.pending = a.pending[:len(a.pending)-1] }
+
+func (a *ioAdapter) complete() {
+	done := a.pending[a.head]
+	a.pending[a.head] = nil
+	a.head++
+	if a.head >= len(a.pending) {
+		a.pending = a.pending[:0]
+		a.head = 0
+	} else if a.head > 64 && a.head*2 > len(a.pending) {
+		n := copy(a.pending, a.pending[a.head:])
+		a.pending = a.pending[:n]
+		a.head = 0
+	}
+	done()
+}
+
+// fnv32 is FNV-1a over the node name, used for stable shard placement.
+func fnv32(name string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return h
 }

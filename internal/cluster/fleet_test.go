@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestShardPlacementStableIDHash is the regression test for the shard
+// assignment fix: placement must be a pure function of the stable client
+// name (FNV-1a), not of insertion order. At 2 and 4 shards every client
+// lands on 1 + fnv32(name) % (shards-1), the data node stays on shard 0,
+// and at 4 shards the layout provably differs from the old
+// insertion-order round-robin for at least one client.
+func TestShardPlacementStableIDHash(t *testing.T) {
+	build := func(shards, clients int) *ShardingReport {
+		specs := make([]ClientSpec, clients)
+		for i := range specs {
+			specs[i] = ClientSpec{Reservation: 1200, Demand: ConstantDemand(1500)}
+		}
+		cfg := testConfig(Haechi)
+		cfg.Seed = 11
+		cfg.Shards = shards
+		cl, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sharding == nil {
+			t.Fatal("sharded run produced no ShardingReport")
+		}
+		return res.Sharding
+	}
+	for _, shards := range []int{2, 4} {
+		sr := build(shards, 8)
+		if sr.Nodes[0].Name != "datanode" || sr.Nodes[0].Shard != 0 {
+			t.Errorf("shards=%d: data node on shard %d, want 0", shards, sr.Nodes[0].Shard)
+		}
+		roundRobin := true
+		for i, na := range sr.Nodes[1:] {
+			want := 1 + int(fnv32(na.Name)%uint32(shards-1))
+			if na.Shard != want {
+				t.Errorf("shards=%d: client %q on shard %d, want %d (stable-ID hash)",
+					shards, na.Name, na.Shard, want)
+			}
+			if na.Shard != 1+i%(shards-1) {
+				roundRobin = false
+			}
+		}
+		if shards == 4 && roundRobin {
+			t.Errorf("shards=4: placement matches insertion-order round-robin exactly; hash assignment not in effect")
+		}
+	}
+
+	// Placement is insertion-order independent by construction (the hash
+	// reads only the name); pin it against two different population sizes,
+	// where round-robin would reshuffle the shared prefix of clients.
+	a, b := build(4, 8), build(4, 5)
+	for i := 1; i < 6; i++ {
+		if a.Nodes[i].Name != b.Nodes[i].Name || a.Nodes[i].Shard != b.Nodes[i].Shard {
+			t.Errorf("client %q moved shards when the population changed: %d vs %d",
+				a.Nodes[i].Name, a.Nodes[i].Shard, b.Nodes[i].Shard)
+		}
+	}
+}
+
+// qpCacheRun is shardedRun with the QP-context connection cache enabled,
+// sized to thrash at the test's client count so hits and misses both
+// occur on every shard.
+func qpCacheRun(t *testing.T, shards, workers int, sanitize bool) []byte {
+	t.Helper()
+	specs := make([]ClientSpec, 6)
+	for i := range specs {
+		specs[i] = ClientSpec{Reservation: 1200, Demand: ConstantDemand(1500), UpdateFraction: 0.05}
+	}
+	cfg := testConfig(Haechi)
+	cfg.Seed = 42
+	cfg.Shards = shards
+	cfg.ShardWorkers = workers
+	cfg.Sanitize = sanitize
+	cfg.Fabric.QPCacheSize = 4
+	cfg.Fabric.QPCacheMissPenalty = 0.25
+	cl, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sanitize {
+		if v := cl.SanitizeViolations(); len(v) != 0 {
+			t.Fatalf("sanitized QP-cache run reported violations: %v", v)
+		}
+	}
+	if res.Attribution.QPCacheMisses == 0 || res.Attribution.QPCacheHits == 0 {
+		t.Fatalf("QP cache inert: hits=%d misses=%d", res.Attribution.QPCacheHits, res.Attribution.QPCacheMisses)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestQPCacheShardedByteIdentical extends the worker-invariance contract
+// to the QP-cache model: with the connection cache active (hits and
+// misses on every shard), Results must stay byte-identical at 1, 2 and 8
+// workers, and a sanitized twin must match the unsanitized run.
+func TestQPCacheShardedByteIdentical(t *testing.T) {
+	base := qpCacheRun(t, 3, 1, false)
+	for _, workers := range []int{2, 8} {
+		if got := qpCacheRun(t, 3, workers, false); !bytes.Equal(base, got) {
+			t.Errorf("workers=%d diverged from workers=1 with QP cache on", workers)
+			reportDivergence(t, base, got)
+		}
+	}
+	if got := qpCacheRun(t, 3, 2, true); !bytes.Equal(base, got) {
+		t.Errorf("sanitizer perturbed the QP-cache run")
+		reportDivergence(t, base, got)
+	}
+}
+
+// TestQPCacheRepeatable pins seed determinism on the single-kernel path
+// with the cache enabled, and that an oversized cache only ever misses
+// cold: with capacity above the fleet's distinct (node, QP) context
+// count, evictions are impossible, so the miss count is a setup constant
+// that must not grow with simulated time.
+func TestQPCacheRepeatable(t *testing.T) {
+	a := qpCacheRun(t, 0, 0, false)
+	b := qpCacheRun(t, 0, 0, false)
+	if !bytes.Equal(a, b) {
+		reportDivergence(t, a, b)
+	}
+
+	coldMisses := func(measure int) uint64 {
+		specs := make([]ClientSpec, 4)
+		for i := range specs {
+			specs[i] = ClientSpec{Reservation: 1200, Demand: ConstantDemand(1500)}
+		}
+		cfg := testConfig(Haechi)
+		cfg.Seed = 5
+		cfg.Fabric.QPCacheSize = 4096
+		cfg.Fabric.QPCacheMissPenalty = 0.25
+		cl, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(1, measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Attribution.QPCacheMisses == 0 {
+			t.Error("expected cold-start misses with an oversized cache")
+		}
+		if res.Attribution.QPCacheHits == 0 {
+			t.Error("expected warm hits with an oversized cache")
+		}
+		return res.Attribution.QPCacheMisses
+	}
+	short, long := coldMisses(2), coldMisses(5)
+	if short != long {
+		t.Errorf("oversized cache missed %d times over 2 periods but %d over 5 — evictions should be impossible",
+			short, long)
+	}
+}
+
+// TestFleetSmoke drives Set 6's 10^5-client configuration end to end —
+// sharded onto 2 kernels, sanitized — and checks the run completes and
+// conserves per-client completions. It is the CI "Fleet smoke" target;
+// locally it runs only with -run TestFleetSmoke (skipped under -short).
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet smoke is not -short")
+	}
+	const clients = 100_000
+	specs := make([]ClientSpec, clients)
+	for i := range specs {
+		r := int64(0)
+		if i < 9000 {
+			r = 1 // reserved tier; the rest are best-effort
+		}
+		specs[i] = ClientSpec{Reservation: r, Demand: ConstantDemand(1)}
+	}
+	cfg := testConfig(Haechi)
+	cfg.Seed = 6
+	cfg.Shards = 2
+	cfg.Sanitize = true
+	cl, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := cl.SanitizeViolations(); len(v) != 0 {
+		t.Fatalf("fleet smoke reported violations: %v", v)
+	}
+	if len(res.Clients) != clients {
+		t.Fatalf("results cover %d clients, want %d", len(res.Clients), clients)
+	}
+	var sum uint64
+	for i := range res.Clients {
+		sum += res.Clients[i].Total
+	}
+	if sum != res.TotalCompleted {
+		t.Errorf("per-client totals sum to %d, TotalCompleted = %d", sum, res.TotalCompleted)
+	}
+}

@@ -135,9 +135,9 @@ func TestShardedReportShape(t *testing.T) {
 		t.Errorf("data node assignment = %+v, want shard 0", sr.Nodes[0])
 	}
 	for i, na := range sr.Nodes[1:] {
-		want := 1 + i%(sr.Shards-1)
+		want := 1 + int(fnv32(na.Name)%uint32(sr.Shards-1))
 		if na.Shard != want {
-			t.Errorf("client %d on shard %d, want %d (round-robin)", i, na.Shard, want)
+			t.Errorf("client %d on shard %d, want %d (stable-ID hash)", i, na.Shard, want)
 		}
 	}
 	// Attribution: one profile per shard, summing to Results.Attribution,

@@ -76,6 +76,29 @@ type Engine struct {
 	sendHead int
 	inflight int
 
+	// inflightDone holds the completion callbacks of posted I/Os in post
+	// order. The engine's data I/Os all ride one queue pair in one service
+	// class, so completions are FIFO (the IOSender contract) and each
+	// completion pops the oldest callback through the bound onIODoneFn —
+	// posting an I/O allocates nothing. The FIFO deliberately survives
+	// Crash: in-flight I/Os were on the wire and may legally complete.
+	inflightDone fnFIFO
+	onIODoneFn   func()
+
+	// Bound callbacks and their per-issue state, created once so the
+	// steady-state token path (claims, probes, retries, reports) schedules
+	// no per-operation closures. faaInFlight guarantees at most one
+	// claim/probe outstanding, so faaPI/faaProbe are unambiguous; the
+	// jittered retry fires within its own tick, so at most one is
+	// outstanding and retryPI is likewise single-slotted.
+	reportFn  func()
+	onFAAFn   func(int64)
+	onProbeFn func(int64)
+	retryFn   func()
+	faaPI     int
+	faaProbe  bool
+	retryPI   int
+
 	// convert mirrors the monitor's conversion mode: when true, tokens
 	// yielded by the X-counter decay are returned to the global pool
 	// with a one-sided FETCH_ADD (+y); when false (Basic Haechi) they
@@ -90,19 +113,19 @@ type Engine struct {
 	// quarantined — not vanished — so the per-period conservation identity
 	// keeps holding through the crash window; the quarantine is released
 	// when the expired period finally rolls over after a restart.
-	quarRes       int64 // reservation tokens quarantined at crash
-	quarGlobal    int64 // claimed global tokens quarantined at crash
-	quarReleased  int64 // cumulative quarantined tokens released at rollover
-	crashInflight int   // I/Os in flight at crash time (may legally complete)
-	postCrashDone int64 // completions observed while crashed
-	crashes       int
-	restarts      int
-	crashAt       sim.Time
-	crashPeriod   int // period index current at crash time
-	restartAt     sim.Time
-	rejoinPending bool // restarted, waiting for the next period push
-	rejoinIndex   int  // period index of the post-restart rejoin
-	rejoinAt      sim.Time
+	quarRes            int64 // reservation tokens quarantined at crash
+	quarGlobal         int64 // claimed global tokens quarantined at crash
+	quarReleased       int64 // cumulative quarantined tokens released at rollover
+	crashInflight      int   // I/Os in flight at crash time (may legally complete)
+	postCrashDone      int64 // completions observed while crashed
+	crashes            int
+	restarts           int
+	crashAt            sim.Time
+	crashPeriod        int // period index current at crash time
+	restartAt          sim.Time
+	rejoinPending      bool // restarted, waiting for the next period push
+	rejoinIndex        int  // period index of the post-restart rejoin
+	rejoinAt           sim.Time
 	savedOnPeriodStart func(int)
 
 	// Degraded local-token mode: entered when the monitor goes silent (no
@@ -197,6 +220,11 @@ func NewEngine(params Params, grant ClientGrant, node *rdma.Node, disp *rdma.Dis
 	if err := disp.HandleFrom(msgAlert, grant.ServerNode, e.handleAlert); err != nil {
 		return nil, err
 	}
+	e.onIODoneFn = e.onIODone
+	e.reportFn = e.report
+	e.onFAAFn = e.onFAA
+	e.onProbeFn = e.onProbe
+	e.retryFn = e.retryClaim
 	e.tick, err = e.k.Every(params.Tick, params.Tick, e.onTick)
 	if err != nil {
 		return nil, err
@@ -479,22 +507,28 @@ func compact(q []pendingReq, head int) ([]pendingReq, int) {
 }
 
 func (e *Engine) fire(req pendingReq) {
-	e.sender(req.key, func() {
-		e.inflight--
-		if e.crashed {
-			// I/Os on the wire at crash time complete at the server
-			// regardless, but the dead client cannot observe them; any
-			// completion beyond that in-flight count is a protocol
-			// violation.
-			e.noteCrashedCompletion()
-			req.done()
-			return
-		}
-		e.completed++
-		e.totalCompleted++
-		req.done()
-		e.pump()
-	})
+	e.inflightDone.push(req.done)
+	e.sender(req.key, e.onIODoneFn)
+}
+
+// onIODone completes the oldest in-flight I/O (IOSender completions are
+// FIFO per engine: all data I/Os ride one QP in one service class).
+func (e *Engine) onIODone() {
+	done := e.inflightDone.pop()
+	e.inflight--
+	if e.crashed {
+		// I/Os on the wire at crash time complete at the server
+		// regardless, but the dead client cannot observe them; any
+		// completion beyond that in-flight count is a protocol
+		// violation.
+		e.noteCrashedCompletion()
+		done()
+		return
+	}
+	e.completed++
+	e.totalCompleted++
+	done()
+	e.pump()
 }
 
 // noteCrashedCompletion accounts one I/O completion delivered to a
@@ -527,56 +561,62 @@ func (e *Engine) ensureFAA() {
 	}
 	e.faaInFlight = true
 	e.faaIssued++
-	pi := e.periodIndex
+	e.faaPI = e.periodIndex
 	delta := -e.params.Batch
+	e.faaProbe = false
 	if e.poolExhausted {
 		// Probe only: a zero-delta FETCH_ADD reads the pool without
 		// consuming it, so starved clients do not dig the cell negative
 		// while waiting for conversion or the next period.
 		delta = 0
+		e.faaProbe = true
 	}
-	err := e.qp.FetchAdd(e.qos, globalTokenOff, delta, func(old int64) {
+	if err := e.qp.FetchAdd(e.qos, globalTokenOff, delta, e.onFAAFn); err != nil {
 		e.faaInFlight = false
-		if pi != e.periodIndex {
-			// The claim straddled a period boundary: its tokens belonged
-			// to the previous period's budget and are void. Re-enter the
-			// dispatch path so pending demand claims against the current
-			// period instead of stalling until the next tick.
-			e.drain()
-			return
-		}
-		if old <= 0 {
-			// Step T4: the unreserved capacity is exhausted; wait for
-			// the monitor to convert tokens or for the next period. The
-			// tick keeps probing while demand is pending.
-			e.poolExhausted = true
-			e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
-			return
-		}
-		if delta == 0 {
-			// The probe found tokens: switch back to claiming.
-			e.poolExhausted = false
-			e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
-			e.ensureFAA()
-			return
-		}
-		granted := old
-		if granted > e.params.Batch {
-			granted = e.params.Batch
-		} else {
-			// Partial batch: the pool is in its conversion-trickle
-			// regime. Back off to probing so one fast claim loop cannot
-			// camp on the pool and starve other clients of converted
-			// tokens (competition for global tokens stays fair).
-			e.poolExhausted = true
-		}
-		e.localGlobal += granted
-		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Claim, Actor: e.actor(), A: old, B: granted})
+	}
+}
+
+// onFAA completes a global-token claim or exhaustion probe. faaInFlight
+// admits one outstanding FETCH_ADD, so the bound-callback state
+// (faaPI, faaProbe) is unambiguous and claiming allocates nothing.
+func (e *Engine) onFAA(old int64) {
+	e.faaInFlight = false
+	if e.faaPI != e.periodIndex {
+		// The claim straddled a period boundary: its tokens belonged
+		// to the previous period's budget and are void. Re-enter the
+		// dispatch path so pending demand claims against the current
+		// period instead of stalling until the next tick.
 		e.drain()
-	})
-	if err != nil {
-		e.faaInFlight = false
+		return
 	}
+	if old <= 0 {
+		// Step T4: the unreserved capacity is exhausted; wait for
+		// the monitor to convert tokens or for the next period. The
+		// tick keeps probing while demand is pending.
+		e.poolExhausted = true
+		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
+		return
+	}
+	if e.faaProbe {
+		// The probe found tokens: switch back to claiming.
+		e.poolExhausted = false
+		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
+		e.ensureFAA()
+		return
+	}
+	granted := old
+	if granted > e.params.Batch {
+		granted = e.params.Batch
+	} else {
+		// Partial batch: the pool is in its conversion-trickle
+		// regime. Back off to probing so one fast claim loop cannot
+		// camp on the pool and starve other clients of converted
+		// tokens (competition for global tokens stays fair).
+		e.poolExhausted = true
+	}
+	e.localGlobal += granted
+	e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Claim, Actor: e.actor(), A: old, B: granted})
+	e.drain()
 }
 
 // onTick is the token-management thread (Section II-D): decay X at rate
@@ -632,14 +672,20 @@ func (e *Engine) onTick() {
 	}
 	if e.Pending() > 0 && e.resTokens == 0 && e.localGlobal == 0 {
 		// Jitter the retry within the tick so competing clients probe the
-		// pool in varying order rather than a fixed creation order.
+		// pool in varying order rather than a fixed creation order. The
+		// delay is strictly below the tick, so at most one retry is
+		// outstanding and the bound retryFn's retryPI slot is unambiguous.
 		delay := sim.Time(e.k.Rand().Int63n(int64(e.params.Tick)))
-		pi := e.periodIndex
-		e.k.Schedule(delay, func() {
-			if pi == e.periodIndex && e.Pending() > 0 && e.resTokens == 0 && e.localGlobal == 0 {
-				e.ensureFAA()
-			}
-		})
+		e.retryPI = e.periodIndex
+		e.k.Schedule(delay, e.retryFn)
+	}
+}
+
+// retryClaim is the tick's jittered claim retry; it re-checks the
+// conditions at fire time (the period may have rolled or tokens arrived).
+func (e *Engine) retryClaim() {
+	if e.retryPI == e.periodIndex && e.Pending() > 0 && e.resTokens == 0 && e.localGlobal == 0 {
+		e.ensureFAA()
 	}
 }
 
@@ -652,13 +698,15 @@ func (e *Engine) probePool() {
 	}
 	e.faaInFlight = true
 	e.faaIssued++
-	err := e.qp.FetchAdd(e.qos, globalTokenOff, 0, func(old int64) {
-		e.faaInFlight = false
-		e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
-	})
-	if err != nil {
+	if err := e.qp.FetchAdd(e.qos, globalTokenOff, 0, e.onProbeFn); err != nil {
 		e.faaInFlight = false
 	}
+}
+
+// onProbe completes a degraded-mode pool heartbeat.
+func (e *Engine) onProbe(old int64) {
+	e.faaInFlight = false
+	e.Trace.Record(trace.Event{At: e.k.Now(), Kind: trace.Probe, Actor: e.actor(), A: old})
 }
 
 // leaveDegraded closes a degraded-mode window and accounts its duration.
@@ -771,7 +819,7 @@ func (e *Engine) handlePeriodStart(_ *rdma.Node, body any) {
 	// DESIGN.md note 1) one check interval before the period closes.
 	e.finalReportTimer.Cancel()
 	finalAt := sim.Time(m.EndAt) - e.params.CheckInterval
-	e.finalReportTimer = e.k.At(finalAt, e.report)
+	e.finalReportTimer = e.k.At(finalAt, e.reportFn)
 	if e.OnPeriodStart != nil {
 		e.OnPeriodStart(m.Index)
 	}
@@ -807,4 +855,29 @@ func (e *Engine) handleAlert(_ *rdma.Node, body any) {
 	if e.OnAlert != nil {
 		e.OnAlert(m.ConsecutivePeriods)
 	}
+}
+
+// fnFIFO is a queue of callbacks backed by a reusable slice; pop compacts
+// lazily so steady-state traffic stops allocating once the buffer reaches
+// its high-water mark (the pooled-FIFO idiom shared with sim and rdma).
+type fnFIFO struct {
+	fns  []func()
+	head int
+}
+
+func (q *fnFIFO) push(fn func()) { q.fns = append(q.fns, fn) }
+
+func (q *fnFIFO) pop() func() {
+	fn := q.fns[q.head]
+	q.fns[q.head] = nil
+	q.head++
+	if q.head >= len(q.fns) {
+		q.fns = q.fns[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.fns) {
+		n := copy(q.fns, q.fns[q.head:])
+		q.fns = q.fns[:n]
+		q.head = 0
+	}
+	return fn
 }

@@ -77,7 +77,10 @@ type Monitor struct {
 	alertAfter   int
 	failureGrace int
 
-	clients []*monitorClient
+	// clients is a dense value slab indexed by client id: admission only
+	// ever appends, nothing retains element pointers across an append, and
+	// iteration walks one contiguous array even at fleet scale.
+	clients []monitorClient
 
 	running       bool
 	periodIndex   int
@@ -196,7 +199,7 @@ func (m *Monitor) Admit(clientNode *rdma.Node, reservation int64) (ClientGrant, 
 		m.adm.Release(id)
 		return ClientGrant{}, err
 	}
-	m.clients = append(m.clients, &monitorClient{
+	m.clients = append(m.clients, monitorClient{
 		id:          id,
 		node:        clientNode,
 		reservation: reservation,
@@ -326,8 +329,8 @@ func (m *Monitor) startPeriod() {
 	m.periodStart = m.k.Now()
 	m.omega = m.est.Current()
 	m.sumRes = 0
-	for _, c := range m.clients {
-		if c.active && !c.suspected {
+	for i := range m.clients {
+		if c := &m.clients[i]; c.active && !c.suspected {
 			m.sumRes += c.reservation
 		}
 	}
@@ -358,8 +361,8 @@ func (m *Monitor) startPeriod() {
 		// does. Issued plus suspended reservations always equal the
 		// admitted total.
 		var suspended int64
-		for _, c := range m.clients {
-			if c.active && c.suspected {
+		for i := range m.clients {
+			if c := &m.clients[i]; c.active && c.suspected {
 				suspended += c.reservation
 			}
 		}
@@ -375,7 +378,8 @@ func (m *Monitor) startPeriod() {
 	// Seed the report table with (R_i, 0) so conversion before the first
 	// client report is conservative, then publish the pool and push
 	// tokens.
-	for _, c := range m.clients {
+	for i := range m.clients {
+		c := &m.clients[i]
 		if !c.active || c.suspected {
 			continue
 		}
@@ -390,7 +394,8 @@ func (m *Monitor) startPeriod() {
 	_ = m.loop.WriteUint64(m.region, globalTokenOff, uint64(m.initialGlobal), nil)
 
 	endAt := m.periodStart + m.params.Period
-	for _, c := range m.clients {
+	for i := range m.clients {
+		c := &m.clients[i]
 		if !c.active || c.suspected {
 			continue
 		}
@@ -433,8 +438,8 @@ func (m *Monitor) check() {
 			m.ReportSignals++
 			m.Trace.Record(trace.Event{At: m.k.Now(), Kind: trace.ReportSignal, Actor: "monitor",
 				A: int64(pi)})
-			for _, c := range m.clients {
-				if c.active {
+			for i := range m.clients {
+				if c := &m.clients[i]; c.active {
 					_ = c.qp.Send(rdma.Message{Kind: msgReportOn, Body: reportOnMsg{Index: pi}}, reportOnMsgSize, nil)
 				}
 			}
@@ -468,7 +473,8 @@ func (m *Monitor) detectLocalViolations() {
 	if elapsed > 1 {
 		elapsed = 1
 	}
-	for _, c := range m.clients {
+	for i := range m.clients {
+		c := &m.clients[i]
 		if !c.active || c.suspected || c.violated {
 			continue
 		}
@@ -515,7 +521,8 @@ func (m *Monitor) capPool(current int64) {
 	}
 	remaining := float64(m.omega) * float64(m.params.Period-elapsed) / float64(m.params.Period)
 	var outstanding int64
-	for _, c := range m.clients {
+	for i := range m.clients {
+		c := &m.clients[i]
 		if !c.active || c.suspected {
 			continue
 		}
@@ -547,7 +554,8 @@ func (m *Monitor) endPeriod() {
 	var total int64
 	used := make(map[int]int64, len(m.clients))
 	reserved := make(map[int]int64, len(m.clients))
-	for _, c := range m.clients {
+	for i := range m.clients {
+		c := &m.clients[i]
 		if !c.active {
 			continue
 		}
@@ -576,7 +584,7 @@ func (m *Monitor) endPeriod() {
 		A: total, B: m.est.Current()})
 	if m.alertAfter > 0 {
 		for _, id := range m.est.ObserveClientUsage(used, reserved, m.alertAfter) {
-			c := m.clients[id]
+			c := &m.clients[id]
 			_ = c.qp.Send(rdma.Message{Kind: msgAlert, Body: alertMsg{
 				ConsecutivePeriods: m.est.UnderuseStreak(id),
 			}}, alertMsgSize, nil)

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/haechi-qos/haechi/internal/cluster"
+)
+
+// goldenIDs covers experiment Sets 1-5: saturation and latency curves
+// (Set 1: fig6-8), reservation attainment and conversion (Set 2:
+// fig9-12), isolation (Set 3: fig13), over/under-provisioning (Set 4:
+// fig16/18) and the failure scenario (Set 5). Every cluster run each
+// experiment performs reports its Results through the Observe hook; the
+// concatenated, RunTag-ordered JSON is the byte-identity surface the
+// hot-path refactors must preserve.
+var goldenIDs = []string{
+	"fig6", "fig7", "fig8", // Set 1
+	"fig9", "fig10", "fig12", // Set 2
+	"fig13",          // Set 3
+	"fig16", "fig18", // Set 4
+	"set5", // Set 5
+}
+
+// goldenOptions shrinks the runs (the shapes, not the dimensions, are
+// what the differential pins): high scale divisor, short windows, few
+// clients. Parallel exercises the sweep machinery; Shards stays 0 —
+// shard placement is part of the experiment definition and PR 10
+// deliberately changed it from insertion-order to stable-ID hashing.
+func goldenOptions(capture func(*cluster.Results)) Options {
+	return Options{
+		Scale:          100,
+		WarmupPeriods:  1,
+		MeasurePeriods: 2,
+		Clients:        10, // the paper's testbed width; reservations are sized per client against C_L
+		Records:        512,
+		Seed:           42,
+		Parallel:       4,
+		Observe:        &cluster.Observe{OnResults: capture},
+	}
+}
+
+// TestGoldenResultsByteIdentical replays Sets 1-5 and compares every
+// cluster run's Results JSON against the goldens generated at the seed
+// commit (before the struct-of-arrays/batched-station refactor).
+// Regenerate with HAECHI_UPDATE_GOLDEN=1 after an intentional
+// model-behavior change — and say why in the commit.
+func TestGoldenResultsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden differential is not -short")
+	}
+	update := os.Getenv("HAECHI_UPDATE_GOLDEN") != ""
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var mu sync.Mutex
+			var runs []*cluster.Results
+			opts := goldenOptions(func(res *cluster.Results) {
+				mu.Lock()
+				runs = append(runs, res)
+				mu.Unlock()
+			})
+			if _, err := Run(id, opts); err != nil {
+				t.Fatalf("running %s: %v", id, err)
+			}
+			sort.SliceStable(runs, func(i, j int) bool { return runs[i].RunTag < runs[j].RunTag })
+			var buf bytes.Buffer
+			for _, res := range runs {
+				fmt.Fprintf(&buf, "run %d mode=%s\n", res.RunTag, res.Mode)
+				b, err := json.MarshalIndent(res, "", " ")
+				if err != nil {
+					t.Fatalf("marshaling run %d: %v", res.RunTag, err)
+				}
+				buf.Write(b)
+				buf.WriteByte('\n')
+			}
+			path := filepath.Join("testdata", "golden", id+".json")
+			if update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d runs, %d bytes)", path, len(runs), buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (regenerate with HAECHI_UPDATE_GOLDEN=1): %v", path, err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				got := filepath.Join(t.TempDir(), id+".json")
+				os.WriteFile(got, buf.Bytes(), 0o644)
+				t.Fatalf("%s: Results diverged from the seed-commit golden (%d runs, got %d bytes want %d); inspect with diff %s %s",
+					id, len(runs), buf.Len(), len(want), path, got)
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ var registry = map[string]Func{
 	"limits":      Limits,
 	"multiserver": MultiServer,
 	"set5":        Set5,
+	"set6":        Set6,
 }
 
 // aliases map alternative names (paper figure/experiment numbering) onto
@@ -46,11 +47,13 @@ var aliases = map[string]string{
 	"fig19":  "fig18",
 	"chaos":  "set5",
 	"5":      "set5",
+	"fleet":  "set6",
+	"6":      "set6",
 }
 
 // Order is the canonical execution order for -all runs.
 var Order = []string{
-	"config", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig16", "fig18", "set5", "ablation", "limits", "multiserver",
+	"config", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig16", "fig18", "set5", "set6", "ablation", "limits", "multiserver",
 }
 
 // Lookup resolves an experiment id (or alias) to its function.

@@ -33,7 +33,14 @@ type Client struct {
 	capacity   uint64
 	mask       uint64
 
-	cache map[uint64]int
+	// Key-location cache, split for fleet scale: primed is a read-only
+	// prefix shared with every other client of the store ([0, primedN),
+	// -1 when absent; primedFound counts the hits), and cache is a lazy
+	// per-client overlay holding only locations learned by probing.
+	primed      []int64
+	primedN     int
+	primedFound int
+	cache       map[uint64]int
 
 	nextReqID  uint64
 	pendingGet map[uint64]func([]byte, error)
@@ -110,9 +117,6 @@ func Attach(node *rdma.Node, disp *rdma.Dispatcher, store *Store) (*Client, erro
 		recordSize: store.opts.RecordSize,
 		capacity:   uint64(store.opts.Capacity),
 		mask:       store.mask,
-		cache:      make(map[uint64]int),
-		pendingGet: make(map[uint64]func([]byte, error)),
-		pendingPut: make(map[uint64]func(error)),
 	}
 	c.onDataReadFn = c.onDataRead
 	c.onProbeFn = c.onProbe
@@ -142,21 +146,47 @@ func (c *Client) OneSidedPuts() uint64 { return c.oneSidedPuts }
 func (c *Client) ProbeReads() uint64 { return c.probeReads }
 
 // CacheLen returns the number of cached key locations.
-func (c *Client) CacheLen() int { return len(c.cache) }
+func (c *Client) CacheLen() int { return c.primedFound + len(c.cache) }
+
+// lookup resolves a key's cached data offset: the probe-learned overlay
+// first (a primed key never probes, so the two never overlap), then the
+// shared primed prefix.
+func (c *Client) lookup(key uint64) (int, bool) {
+	if off, ok := c.cache[key]; ok {
+		return off, true
+	}
+	if key < uint64(c.primedN) {
+		if loc := c.primed[key]; loc >= 0 {
+			return int(loc), true
+		}
+	}
+	return 0, false
+}
+
+// learn records a probe-resolved location in the lazy overlay.
+func (c *Client) learn(key uint64, off int) {
+	if c.cache == nil {
+		c.cache = make(map[uint64]int)
+	}
+	c.cache[key] = off
+}
 
 // PrimeCache fills the location cache for keys [0, n) directly from the
 // store's index, modelling a client in steady state (the paper's
 // measurement phase starts after 30 s of warm-up, by which point every hot
 // key's location is cached and a GET is a single one-sided READ).
+// The slab itself lives on the Store and is shared by all clients.
 func (c *Client) PrimeCache(n int) {
+	c.primed = c.store.primeShared(n)
+	if n > len(c.primed) {
+		n = len(c.primed)
+	}
+	c.primedN = n
+	c.primedFound = 0
 	for k := 0; k < n; k++ {
-		key := uint64(k)
-		slot, ok, _, _ := c.store.findSlot(key)
-		if !ok {
-			continue
+		if c.primed[k] >= 0 {
+			c.primedFound++
 		}
-		_, state := c.store.slotState(slot)
-		c.cache[key] = int(state &^ occupiedBit)
 	}
 }
 
@@ -167,7 +197,7 @@ func (c *Client) Get(key uint64, cb func(value []byte, err error)) error {
 	if cb == nil {
 		return fmt.Errorf("kvstore: Get requires a callback")
 	}
-	if off, ok := c.cache[key]; ok {
+	if off, ok := c.lookup(key); ok {
 		return c.readData(off, cb)
 	}
 	start := hashKey(key) & c.mask
@@ -228,7 +258,7 @@ func (c *Client) onProbe(raw []byte) {
 		}
 		if k == st.key {
 			dataOff := int(state &^ occupiedBit)
-			c.cache[st.key] = dataOff
+			c.learn(st.key, dataOff)
 			if err := c.readData(dataOff, st.cb); err != nil {
 				st.cb(nil, err)
 			}
@@ -258,7 +288,7 @@ func (c *Client) Update(key uint64, value []byte, cb func(error)) error {
 	if len(value) > c.recordSize {
 		return fmt.Errorf("kvstore: value of %d bytes exceeds record size %d", len(value), c.recordSize)
 	}
-	if off, ok := c.cache[key]; ok {
+	if off, ok := c.lookup(key); ok {
 		return c.writeData(off, value, cb)
 	}
 	// Resolve the location with the usual probe path, then write.
@@ -271,7 +301,7 @@ func (c *Client) Update(key uint64, value []byte, cb func(error)) error {
 			cb(err)
 			return
 		}
-		off := c.cache[key]
+		off, _ := c.lookup(key)
 		if err := c.writeData(off, value, cb); err != nil {
 			cb(err)
 		}
@@ -309,6 +339,9 @@ func (c *Client) GetTwoSided(key uint64, cb func(value []byte, err error)) error
 	}
 	id := c.nextReqID
 	c.nextReqID++
+	if c.pendingGet == nil {
+		c.pendingGet = make(map[uint64]func([]byte, error))
+	}
 	c.pendingGet[id] = cb
 	err := c.qp.Send(rdma.Message{Kind: msgGet, Body: getRequest{key: key, reqID: id}}, 24, nil)
 	if err != nil {
@@ -324,6 +357,9 @@ func (c *Client) PutTwoSided(key uint64, value []byte, cb func(error)) error {
 	}
 	id := c.nextReqID
 	c.nextReqID++
+	if c.pendingPut == nil {
+		c.pendingPut = make(map[uint64]func(error))
+	}
 	c.pendingPut[id] = cb
 	buf := make([]byte, len(value))
 	copy(buf, value)

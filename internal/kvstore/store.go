@@ -78,6 +78,33 @@ type Store struct {
 	puts    uint64
 	getRPCs uint64
 	scratch []byte
+
+	// primedLoc is the shared prefix of primed key locations (-1 when the
+	// key was absent at build time), built on the first PrimeCache call and
+	// extended append-only; see primeShared. Sharing one slab across every
+	// attached client replaces 10^5 identical per-client maps at fleet
+	// scale with a single read-only array.
+	primedLoc []int64
+}
+
+// primeShared returns the shared primed-location slab covering keys
+// [0, n), building the missing suffix from the live index on first use.
+// Entries are never rewritten after they are built: a location is stable
+// once a record exists (updates are in-place), and a key absent at build
+// time stays -1 so later clients resolve it with the same probe sequence
+// an early client would have used. Extension appends, so clients holding
+// a shorter prefix keep their original backing array.
+func (s *Store) primeShared(n int) []int64 {
+	for len(s.primedLoc) < n {
+		key := uint64(len(s.primedLoc))
+		loc := int64(-1)
+		if slot, ok, _, _ := s.findSlot(key); ok {
+			_, state := s.slotState(slot)
+			loc = int64(state &^ occupiedBit)
+		}
+		s.primedLoc = append(s.primedLoc, loc)
+	}
+	return s.primedLoc
 }
 
 // NewStore registers the store's regions on node and, if disp is non-nil,

@@ -87,6 +87,21 @@ type Config struct {
 	// by the client rate C_L, not by draining a deep server backlog).
 	// 0 disables flow control. Control verbs are exempt (own QPs).
 	FlowControlWindow int
+
+	// QPCacheSize models the RNIC's on-chip connection cache (ICM/QP
+	// context cache): each node keeps at most this many QP contexts hot.
+	// Touching a QP that is not cached evicts the least recently used
+	// context and charges QPCacheMissPenalty extra service weight for the
+	// fetch from host memory — the RDMAvisor/Storm scalability effect,
+	// where per-QP service time degrades once the active QP count
+	// exceeds the cache. 0 disables the model (infinite cache); the
+	// default keeps it off so the calibrated small-testbed model is
+	// unchanged.
+	QPCacheSize int
+
+	// QPCacheMissPenalty is the extra service weight (relative to a 4 KB
+	// transfer) charged at a NIC for a QP-context cache miss.
+	QPCacheMissPenalty float64
 }
 
 // NewDefaultConfig returns the performance model calibrated to the paper's
@@ -162,6 +177,15 @@ func (c Config) Validate() error {
 	}
 	if c.FlowControlWindow < 0 {
 		return fmt.Errorf("rdma: FlowControlWindow must be non-negative, got %d", c.FlowControlWindow)
+	}
+	if c.QPCacheSize < 0 {
+		return fmt.Errorf("rdma: QPCacheSize must be non-negative, got %d", c.QPCacheSize)
+	}
+	if c.QPCacheMissPenalty < 0 {
+		return fmt.Errorf("rdma: QPCacheMissPenalty must be non-negative, got %v", c.QPCacheMissPenalty)
+	}
+	if c.QPCacheSize > 0 && c.QPCacheMissPenalty == 0 {
+		return fmt.Errorf("rdma: QPCacheSize %d without a QPCacheMissPenalty has no effect; set a positive penalty", c.QPCacheSize)
 	}
 	return nil
 }

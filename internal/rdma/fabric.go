@@ -3,8 +3,18 @@ package rdma
 import (
 	"fmt"
 
+	"github.com/haechi-qos/haechi/internal/sanitize"
 	"github.com/haechi-qos/haechi/internal/sim"
 	"github.com/haechi-qos/haechi/internal/trace"
+)
+
+// Slab chunk sizes: nodes and queue pairs are allocated out of fixed-size
+// chunks so element pointers stay stable while the arrays stay dense —
+// struct-of-arrays locality at fleet scale (10^5+ clients) without the
+// per-object heap litter of one allocation per node/QP.
+const (
+	nodeChunkSize = 256
+	qpChunkSize   = 512
 )
 
 // NodeKind distinguishes the two roles in the performance model.
@@ -32,11 +42,16 @@ func (k NodeKind) String() string {
 	}
 }
 
-// Node is a machine attached to the fabric.
+// Node is a machine attached to the fabric. Nodes live in the fabric's
+// slab chunks — never hold one by value; the *Node returned at creation
+// is stable for the fabric's lifetime.
 type Node struct {
 	fabric *Fabric
 	name   string
 	kind   NodeKind
+	// id is the node's dense creation-order index (background-job
+	// initiators included); it indexes fabric-wide per-node arrays.
+	id int
 
 	// k is the kernel every event local to this node runs on. Without
 	// sharding it is the fabric's kernel; under EnableSharding it is the
@@ -67,6 +82,66 @@ type Node struct {
 	// Same single-writer argument: every increment runs on the node's
 	// kernel.
 	prof *ExecProfile
+	// san is this node's shard's invariant checker (nil when sanitizing
+	// is off); structural fabric invariants report here.
+	san *sanitize.Checker
+
+	// qpCache models the NIC's connection cache (Config.QPCacheSize);
+	// disabled (zero capacity) by default.
+	qpCache qpCache
+}
+
+// ID returns the node's dense creation-order index.
+func (n *Node) ID() int { return n.id }
+
+// qpPenalty charges one QP-context touch at this node's NIC and returns
+// the extra service weight the touch costs: 0 on a cache hit (or with
+// the model disabled), the configured miss penalty when the context must
+// be fetched from host memory.
+func (n *Node) qpPenalty(qpID int) float64 {
+	c := &n.qpCache
+	if c.cap == 0 {
+		return 0
+	}
+	if c.touch(qpID) {
+		n.prof.QPCacheHits++
+		return 0
+	}
+	n.prof.QPCacheMisses++
+	if n.san != nil && (c.used > c.cap || len(c.slot) != c.used) {
+		n.san.Reportf("qp-cache", int64(n.k.Now()),
+			"node %s: qp cache occupancy %d (map %d) exceeds capacity %d",
+			n.name, c.used, len(c.slot), c.cap)
+	}
+	return c.penalty
+}
+
+// dispatchTag resolves a station completion tag — (queue pair, stage)
+// packed into 32 bits — to the tagged stage handler. One bound instance
+// per node replaces the eight per-QP completion closures the pipeline
+// stages used to hold, so connecting a queue pair no longer allocates
+// per-stage callbacks and station completions dispatch through a dense
+// table instead of per-object funcs.
+func (n *Node) dispatchTag(tag uint32) {
+	qp := n.fabric.qps[tag>>stageBits]
+	switch tag & stageMask {
+	case stageCtrlInit:
+		qp.ctrlInitDone()
+	case stageCtrlServe:
+		qp.ctrlServed()
+	case stageBulkInit:
+		qp.bulkInitDone()
+	case stageSendBulk:
+		qp.sendBulkServed()
+	case stageSendSrv:
+		qp.sendSrvServed()
+	case stageSendCPU:
+		qp.sendCPUServed()
+	case stageLoopCtrl:
+		qp.loopCtrlServed()
+	case stageLoopBulk:
+		qp.loopBulkServed()
+	}
 }
 
 // Name returns the node name.
@@ -130,6 +205,19 @@ type Fabric struct {
 	cfg   Config
 	nodes []*Node
 
+	// nodeChunks and qpChunks are the slab backing stores for nodes and
+	// queue pairs (see the chunk-size constants); byName indexes nodes for
+	// O(1) duplicate detection and lookup, and qps indexes queue pairs by
+	// their dense 1-based id (qps[0] is nil) for tag dispatch. All four
+	// grow only during setup: on a sharded fabric, nodes and connections
+	// must exist before the run starts (the assignment is fixed at
+	// EnableSharding time), so concurrent shard kernels only ever read
+	// these slices.
+	nodeChunks [][]Node
+	qpChunks   [][]QP
+	byName     map[string]*Node
+	qps        []*QP
+
 	// flights holds one flight recorder per shard (one entry when
 	// unsharded), or nil when recording is off. Each recorder receives
 	// spans only from code running on its shard's kernel — Begin on the
@@ -164,7 +252,13 @@ func NewFabric(k *sim.Kernel, cfg Config) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Fabric{k: k, cfg: cfg, profs: []*ExecProfile{{}}}, nil
+	return &Fabric{
+		k:      k,
+		cfg:    cfg,
+		profs:  []*ExecProfile{{}},
+		byName: make(map[string]*Node),
+		qps:    []*QP{nil},
+	}, nil
 }
 
 // Kernel returns the simulation kernel driving this fabric. Under
@@ -291,30 +385,43 @@ func (f *Fabric) AddServer(name string) (*Node, error) {
 }
 
 func (f *Fabric) addNode(name string, kind NodeKind) (*Node, error) {
-	for _, n := range f.nodes {
-		if n.name == name {
-			return nil, fmt.Errorf("rdma: node %q already exists", name)
-		}
+	if _, ok := f.byName[name]; ok {
+		return nil, fmt.Errorf("rdma: node %q already exists", name)
 	}
-	n := &Node{
-		fabric:  f,
-		name:    name,
-		kind:    kind,
-		k:       f.k,
-		regions: make(map[string]*Region),
+	if kind != ClientNode && kind != ServerNode {
+		return nil, fmt.Errorf("rdma: unknown node kind %v", kind)
 	}
+	shard := 0
+	k := f.k
 	if f.shardKernels != nil {
 		s := f.assign(name, kind)
 		if s < 0 || s >= len(f.shardKernels) {
 			return nil, fmt.Errorf("rdma: node %q assigned to shard %d, have %d shards", name, s, len(f.shardKernels))
 		}
-		n.shard = s
-		n.k = f.shardKernels[s]
+		shard = s
+		k = f.shardKernels[s]
 	}
+	// Allocate the node out of the current slab chunk; chunks never grow
+	// past their fixed capacity, so &chunk[i] stays valid forever.
+	if len(f.nodeChunks) == 0 || len(f.nodeChunks[len(f.nodeChunks)-1]) == nodeChunkSize {
+		f.nodeChunks = append(f.nodeChunks, make([]Node, 0, nodeChunkSize))
+	}
+	chunk := &f.nodeChunks[len(f.nodeChunks)-1]
+	*chunk = append(*chunk, Node{
+		fabric:  f,
+		name:    name,
+		kind:    kind,
+		id:      len(f.byName),
+		k:       k,
+		shard:   shard,
+		regions: make(map[string]*Region),
+	})
+	n := &(*chunk)[len(*chunk)-1]
 	n.flight = f.flightFor(n.shard)
 	n.prof = f.profs[n.shard]
 	n.sched.node = n
 	n.sched.onServedFn = n.sched.onServed
+	n.qpCache.init(f.cfg.QPCacheSize, f.cfg.QPCacheMissPenalty)
 	var err error
 	switch kind {
 	case ClientNode:
@@ -324,17 +431,54 @@ func (f *Fabric) addNode(name string, kind NodeKind) (*Node, error) {
 		if err == nil {
 			n.cpu, err = sim.NewStation(n.k, name+"/cpu", f.cfg.ServerTwoSidedRate, f.cfg.Jitter)
 		}
-	default:
-		err = fmt.Errorf("rdma: unknown node kind %v", kind)
 	}
 	if err != nil {
+		*chunk = (*chunk)[:len(*chunk)-1]
 		return nil, err
 	}
+	dispatch := n.dispatchTag
+	n.nic.SetDispatch(dispatch)
+	if n.cpu != nil {
+		n.cpu.SetDispatch(dispatch)
+	}
+	f.byName[name] = n
 	f.nodes = append(f.nodes, n)
 	return n, nil
 }
 
-// Connect creates a queue pair from initiator to target.
+// NodeByName returns the node with the given name, if any (background-job
+// initiators included).
+func (f *Fabric) NodeByName(name string) (*Node, bool) {
+	n, ok := f.byName[name]
+	return n, ok
+}
+
+// SetSanitizers attaches one invariant checker per shard (a single entry
+// when unsharded) to the fabric's structural checks, or detaches them
+// with nil. Must be called after the nodes exist and before the run
+// starts.
+func (f *Fabric) SetSanitizers(cs []*sanitize.Checker) error {
+	want := 1
+	if f.shardKernels != nil {
+		want = len(f.shardKernels)
+	}
+	if cs != nil && len(cs) != want {
+		return fmt.Errorf("rdma: SetSanitizers: got %d checkers for %d shards", len(cs), want)
+	}
+	for _, n := range f.nodes {
+		if cs == nil {
+			n.san = nil
+		} else {
+			n.san = cs[n.shard]
+		}
+	}
+	return nil
+}
+
+// Connect creates a queue pair from initiator to target. Queue pairs are
+// slab-allocated and indexed by their dense id for tag dispatch; on a
+// sharded fabric all connections must be made before the run starts (the
+// index is then read concurrently by the shard kernels).
 func (f *Fabric) Connect(initiator, target *Node) (*QP, error) {
 	if initiator == nil || target == nil {
 		return nil, fmt.Errorf("rdma: Connect requires two non-nil nodes")
@@ -343,15 +487,21 @@ func (f *Fabric) Connect(initiator, target *Node) (*QP, error) {
 		return nil, fmt.Errorf("rdma: Connect across fabrics (%s -> %s)", initiator.name, target.name)
 	}
 	f.qpSeq++
-	qp := &QP{
+	if len(f.qpChunks) == 0 || len(f.qpChunks[len(f.qpChunks)-1]) == qpChunkSize {
+		f.qpChunks = append(f.qpChunks, make([]QP, 0, qpChunkSize))
+	}
+	chunk := &f.qpChunks[len(f.qpChunks)-1]
+	*chunk = append(*chunk, QP{
 		fabric:    f,
 		id:        f.qpSeq,
 		initiator: initiator,
 		target:    target,
 		window:    f.cfg.FlowControlWindow,
 		cross:     initiator.shard != target.shard && f.post != nil,
-	}
+	})
+	qp := &(*chunk)[len(*chunk)-1]
 	qp.bindStages()
+	f.qps = append(f.qps, qp)
 	return qp, nil
 }
 

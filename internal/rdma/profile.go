@@ -35,6 +35,13 @@ type ExecProfile struct {
 	Deliveries      uint64 // completion deliveries at the initiator
 	Loopbacks       uint64 // loopback serves (single-NIC path)
 	MailboxPosts    uint64 // cross-shard mailbox messages posted
+
+	// QP connection-cache behaviour (Config.QPCacheSize); both zero when
+	// the model is disabled. A miss charges QPCacheMissPenalty extra
+	// service weight at the touching NIC. Omitted from JSON when zero so
+	// cache-off Results stay byte-identical to pre-cache goldens.
+	QPCacheHits   uint64 `json:",omitempty"`
+	QPCacheMisses uint64 `json:",omitempty"`
 }
 
 // countKind tallies one executed operation of kind k.
@@ -71,4 +78,6 @@ func (p *ExecProfile) Add(o *ExecProfile) {
 	p.Deliveries += o.Deliveries
 	p.Loopbacks += o.Loopbacks
 	p.MailboxPosts += o.MailboxPosts
+	p.QPCacheHits += o.QPCacheHits
+	p.QPCacheMisses += o.QPCacheMisses
 }

@@ -88,33 +88,41 @@ type QP struct {
 	bulkWireAt sim.Time
 	backWireAt sim.Time
 
-	// Stage callbacks, bound once at Connect.
-	ctrlInitDoneFn func()
-	ctrlArriveFn   func()
-	ctrlServedFn   func()
-	bulkInitDoneFn func()
-	bulkArriveFn   func()
-	sendBulkFn     func()
-	sendSrvFn      func()
-	sendCPUFn      func()
-	loopCtrlFn     func()
-	loopBulkFn     func()
-	deliverFn      func()
+	// Kernel-timer callbacks (wire arrivals, completion delivery), bound
+	// once at Connect. Station-stage completions need no per-QP closures:
+	// they dispatch through (qp id, stage) tags resolved by one bound
+	// function per node (see Node.dispatchTag).
+	ctrlArriveFn func()
+	bulkArriveFn func()
+	deliverFn    func()
 }
 
 func (qp *QP) bindStages() {
-	qp.ctrlInitDoneFn = qp.ctrlInitDone
 	qp.ctrlArriveFn = qp.ctrlArrive
-	qp.ctrlServedFn = qp.ctrlServed
-	qp.bulkInitDoneFn = qp.bulkInitDone
 	qp.bulkArriveFn = qp.bulkArrive
-	qp.sendBulkFn = qp.sendBulkServed
-	qp.sendSrvFn = qp.sendSrvServed
-	qp.sendCPUFn = qp.sendCPUServed
-	qp.loopCtrlFn = qp.loopCtrlServed
-	qp.loopBulkFn = qp.loopBulkServed
 	qp.deliverFn = qp.deliverNext
 }
+
+// Station-stage identifiers for tag dispatch: a tag packs the queue
+// pair's dense id above stageBits bits of stage.
+const (
+	stageCtrlInit  uint32 = iota // initiator NIC finished a control op
+	stageCtrlServe               // target NIC finished a control op
+	stageBulkInit                // initiator NIC finished a bulk op
+	stageSendBulk                // client target NIC finished a bulk SEND
+	stageSendSrv                 // server target NIC finished a SEND header
+	stageSendCPU                 // server target CPU finished a SEND
+	stageLoopCtrl                // loopback control op traversed the NIC
+	stageLoopBulk                // loopback bulk op traversed the NIC
+)
+
+const (
+	stageBits = 4
+	stageMask = 1<<stageBits - 1
+)
+
+// tag packs this QP's id with a stage for station dispatch.
+func (qp *QP) tag(stage uint32) uint32 { return uint32(qp.id)<<stageBits | stage }
 
 // opKind tags the operation a flowOp value carries through the pipeline.
 type opKind uint8
@@ -148,7 +156,14 @@ type flowOp struct {
 	region *Region
 	off    int
 	size   int
-	buf    []byte // WRITE payload, captured at call time
+	buf    []byte // WRITE payload, captured at call time (large writes)
+
+	// inline holds small WRITE payloads (up to 8 bytes — Haechi's silent
+	// reports and token pushes) by value, so the hot reporting path posts
+	// no heap buffer; inlineLen > 0 means inline is the payload and buf
+	// is nil.
+	inline    [8]byte
+	inlineLen uint8
 
 	delta  int64 // FETCH_ADD
 	expect int64 // CMP_SWAP
@@ -186,7 +201,11 @@ func (op *flowOp) needsDeliver() bool {
 func (op *flowOp) apply() {
 	switch op.kind {
 	case opWrite:
-		copy(op.region.buf[op.off:], op.buf)
+		if op.inlineLen > 0 {
+			copy(op.region.buf[op.off:], op.inline[:op.inlineLen])
+		} else {
+			copy(op.region.buf[op.off:], op.buf)
+		}
 	case opFetchAdd:
 		old := int64(binary.LittleEndian.Uint64(op.region.buf[op.off:]))
 		binary.LittleEndian.PutUint64(op.region.buf[op.off:], uint64(old+op.delta))
@@ -258,18 +277,6 @@ func (qp *QP) checkRegion(r *Region) error {
 // monitor manipulating the global token cell through its own NIC).
 func (qp *QP) loopback() bool { return qp.initiator == qp.target }
 
-// submitNIC routes an operation to a NIC station. Control operations
-// (atomics and small transfers) take the priority path: they are
-// arbitrated ahead of queued bulk transfers, as separate QPs are on a
-// real RNIC, while still consuming station capacity.
-func submitNIC(st *sim.Station, weight float64, control bool, done func()) {
-	if control {
-		st.SubmitPriority(weight, done)
-		return
-	}
-	st.SubmitWeighted(weight, done)
-}
-
 // initiate charges the initiator NIC, then after propagation charges the
 // target NIC and applies the op, then after propagation delivers the
 // completion. For loopback QPs the op traverses the NIC once and skips the
@@ -282,18 +289,19 @@ func submitNIC(st *sim.Station, weight float64, control bool, done func()) {
 // so the kernel's event sequence is identical with tracing on or off.
 func (qp *QP) initiate(op flowOp) {
 	if qp.loopback() {
+		pen := qp.initiator.qpPenalty(qp.id)
 		if op.control {
 			qp.loopCtrl.push(op)
-			qp.initiator.nic.SubmitPriority(op.weight, qp.loopCtrlFn)
+			qp.initiator.nic.SubmitPriorityTagged(op.weight+pen, qp.tag(stageLoopCtrl))
 		} else {
 			qp.loopBulk.push(op)
-			qp.initiator.nic.SubmitWeighted(op.weight, qp.loopBulkFn)
+			qp.initiator.nic.SubmitTagged(op.weight+pen, qp.tag(stageLoopBulk))
 		}
 		return
 	}
 	if op.control {
 		qp.ctrlInit.push(op)
-		qp.initiator.nic.SubmitPriority(op.initWeight, qp.ctrlInitDoneFn)
+		qp.initiator.nic.SubmitPriorityTagged(op.initWeight+qp.initiator.qpPenalty(qp.id), qp.tag(stageCtrlInit))
 		return
 	}
 	qp.admitData(op)
@@ -348,7 +356,7 @@ func (qp *QP) ctrlArriveOp(op flowOp) {
 		return
 	}
 	qp.ctrlServe.push(op)
-	qp.target.nic.SubmitPriority(op.weight, qp.ctrlServedFn)
+	qp.target.nic.SubmitPriorityTagged(op.weight+qp.target.qpPenalty(qp.id), qp.tag(stageCtrlServe))
 }
 
 // noteArrival counts an op against the target's verb stats. Same-shard
@@ -514,7 +522,7 @@ func (qp *QP) transmit(op flowOp) {
 		op.span.Credit = qp.initiator.k.Now()
 	}
 	qp.bulkInit.push(op)
-	qp.initiator.nic.SubmitWeighted(op.initWeight, qp.bulkInitDoneFn)
+	qp.initiator.nic.SubmitTagged(op.initWeight+qp.initiator.qpPenalty(qp.id), qp.tag(stageBulkInit))
 }
 
 // bulkInitDone: a bulk-class op (data transfer or bulk SEND) finished
@@ -569,27 +577,29 @@ func (qp *QP) releaseCredit() {
 // the size-proportional cost and delivers directly.
 func (qp *QP) sendTargetSubmit(op flowOp) {
 	f := qp.fabric
+	pen := qp.target.qpPenalty(qp.id)
 	if qp.target.kind == ServerNode {
 		qp.sendSrv.push(op)
-		qp.target.nic.SubmitPriority(f.cfg.SendRequestWeight, qp.sendSrvFn)
+		qp.target.nic.SubmitPriorityTagged(f.cfg.SendRequestWeight+pen, qp.tag(stageSendSrv))
 		return
 	}
 	// A client receiving a SEND pays its NIC the size-proportional cost
 	// (a 4 KB RPC reply is real work; a token push is nearly free).
-	w := f.cfg.sizeWeight(op.size)
+	w := f.cfg.sizeWeight(op.size) + pen
 	if op.control {
 		qp.ctrlServe.push(op)
-		qp.target.nic.SubmitPriority(w, qp.ctrlServedFn)
+		qp.target.nic.SubmitPriorityTagged(w, qp.tag(stageCtrlServe))
 		return
 	}
 	qp.sendBulk.push(op)
-	qp.target.nic.SubmitWeighted(w, qp.sendBulkFn)
+	qp.target.nic.SubmitTagged(w, qp.tag(stageSendBulk))
 }
 
 func (qp *QP) sendSrvServed() {
 	op := qp.sendSrv.pop()
 	qp.sendCPU.push(op)
-	qp.target.cpu.Submit(qp.sendCPUFn)
+	// The CPU is not a QP-context station: no connection-cache charge.
+	qp.target.cpu.SubmitTagged(1, qp.tag(stageSendCPU))
 }
 
 func (qp *QP) sendCPUServed() { qp.sendDeliver(qp.sendCPU.pop()) }
@@ -662,16 +672,14 @@ func (qp *QP) Write(r *Region, off int, data []byte, cb func()) error {
 	if err := r.checkRange(off, len(data)); err != nil {
 		return err
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	w := qp.fabric.cfg.sizeWeight(len(buf))
+	w := qp.fabric.cfg.sizeWeight(len(data))
 	qp.initiator.stats.Writes++
-	qp.initiator.stats.BytesWritten += uint64(len(buf))
+	qp.initiator.stats.BytesWritten += uint64(len(data))
 	if !qp.cross { // cross-shard: counted at arrival, on the target's shard
 		qp.target.stats.OneSidedTargeted++
 	}
-	control := qp.fabric.cfg.isControl(len(buf))
-	qp.initiate(flowOp{
+	control := qp.fabric.cfg.isControl(len(data))
+	op := flowOp{
 		kind:       opWrite,
 		control:    control,
 		qp:         qp,
@@ -679,10 +687,18 @@ func (qp *QP) Write(r *Region, off int, data []byte, cb func()) error {
 		initWeight: w,
 		region:     r,
 		off:        off,
-		buf:        buf,
 		doneCB:     cb,
 		span:       qp.beginSpan(trace.OpWrite, control),
-	})
+	}
+	// The payload is captured at call time either inline (small writes —
+	// the report/token hot path, no heap buffer) or into a fresh buffer.
+	if len(data) <= len(op.inline) {
+		op.inlineLen = uint8(copy(op.inline[:], data))
+	} else {
+		op.buf = make([]byte, len(data))
+		copy(op.buf, data)
+	}
+	qp.initiate(op)
 	return nil
 }
 
@@ -797,12 +813,13 @@ func (qp *QP) Send(payload any, size int, cb func()) error {
 	}
 	// SENDs are not flow-controlled: they enter the class's initiator-NIC
 	// stage directly.
+	pen := qp.initiator.qpPenalty(qp.id)
 	if control {
 		qp.ctrlInit.push(op)
-		qp.initiator.nic.SubmitPriority(initWeight, qp.ctrlInitDoneFn)
+		qp.initiator.nic.SubmitPriorityTagged(initWeight+pen, qp.tag(stageCtrlInit))
 	} else {
 		qp.bulkInit.push(op)
-		qp.initiator.nic.SubmitWeighted(initWeight, qp.bulkInitDoneFn)
+		qp.initiator.nic.SubmitTagged(initWeight+pen, qp.tag(stageBulkInit))
 	}
 	return nil
 }

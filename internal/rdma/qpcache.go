@@ -1,0 +1,103 @@
+package rdma
+
+// qpCache models a NIC's on-chip QP-context (connection) cache as an LRU
+// over queue-pair ids: touching a cached context is free, touching an
+// uncached one evicts the least recently used entry and costs the
+// configured miss penalty (the context fetch from host memory). This is
+// the RNIC scalability effect RDMAvisor and Storm measure — one-sided
+// throughput collapses once the active connection count outgrows the
+// cache — which the calibrated small-testbed model otherwise lacks.
+//
+// The cache is struct-of-arrays: the recency list is an intrusive doubly
+// linked list over pre-allocated slot arrays, with a single map from QP
+// id to slot. Touches are O(1) and allocation-free in steady state, and
+// every touch happens on the owning node's kernel, so per-node caches
+// need no locks even when shards run concurrently and the hit/miss
+// sequence is exactly as deterministic as the event sequence.
+type qpCache struct {
+	cap     int
+	penalty float64
+	used    int
+
+	slot map[int]int32 // qp id -> slot
+	ids  []int         // slot -> qp id
+	prev []int32       // recency list, -1 terminated
+	next []int32
+	head int32 // most recently used
+	tail int32 // least recently used
+}
+
+// init sizes the cache; capacity <= 0 disables it (every touch hits).
+// Slot storage grows lazily with the node's actual working set rather
+// than preallocating the full capacity: a fleet client's NIC only ever
+// holds its own handful of contexts, and the capacity is shared model
+// configuration, so eager sizing would charge every one of 10^5 nodes
+// for the server's working set.
+func (c *qpCache) init(capacity int, penalty float64) {
+	c.cap = capacity
+	c.penalty = penalty
+	if capacity <= 0 {
+		return
+	}
+	c.slot = make(map[int]int32)
+	c.head, c.tail = -1, -1
+}
+
+// touch marks the QP's context used now and reports whether it was
+// already cached.
+func (c *qpCache) touch(id int) bool {
+	if s, ok := c.slot[id]; ok {
+		if s != c.head {
+			c.unlink(s)
+			c.pushFront(s)
+		}
+		return true
+	}
+	var s int32
+	if c.used < c.cap {
+		s = int32(c.used)
+		c.used++
+		if int(s) == len(c.ids) {
+			// Grows only while the working set grows; steady state —
+			// whether all-resident or thrashing through evictions —
+			// stays allocation-free.
+			c.ids = append(c.ids, 0)
+			c.prev = append(c.prev, 0)
+			c.next = append(c.next, 0)
+		}
+	} else {
+		s = c.tail
+		c.unlink(s)
+		delete(c.slot, c.ids[s])
+	}
+	c.ids[s] = id
+	c.slot[id] = s
+	c.pushFront(s)
+	return false
+}
+
+func (c *qpCache) unlink(s int32) {
+	p, n := c.prev[s], c.next[s]
+	if p >= 0 {
+		c.next[p] = n
+	} else {
+		c.head = n
+	}
+	if n >= 0 {
+		c.prev[n] = p
+	} else {
+		c.tail = p
+	}
+}
+
+func (c *qpCache) pushFront(s int32) {
+	c.prev[s] = -1
+	c.next[s] = c.head
+	if c.head >= 0 {
+		c.prev[c.head] = s
+	}
+	c.head = s
+	if c.tail < 0 {
+		c.tail = s
+	}
+}

@@ -96,7 +96,13 @@ func (s *rrScheduler) pump() {
 	}
 	s.current = op
 	s.currentQ = q
-	s.node.nic.SubmitWeighted(op.weight, s.onServedFn)
+	// Service begins now, so the QP-context touch happens here (opFunc
+	// injections carry no QP context and touch nothing).
+	w := op.weight
+	if op.kind != opFunc {
+		w += s.node.qpPenalty(op.qp.id)
+	}
+	s.node.nic.SubmitWeighted(w, s.onServedFn)
 }
 
 // onServed completes the operation in service: it applies the memory

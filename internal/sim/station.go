@@ -2,6 +2,10 @@ package sim
 
 import "fmt"
 
+// noTag marks a completion entry that carries a callback instead of a
+// dispatch tag.
+const noTag = ^uint32(0)
+
 // Station models a single-server FIFO queueing station with a fixed mean
 // service time and optional multiplicative jitter. It is the building block
 // for NIC and CPU processing pipelines in the simulated fabric.
@@ -9,16 +13,26 @@ import "fmt"
 // Submissions are served in arrival order. The implementation keeps only a
 // "busy until" horizon instead of an explicit queue: the completion time of
 // a submission arriving at time a is max(a, busyUntil) + serviceTime, which
-// is exactly FIFO single-server semantics with O(1) state and a single
-// kernel event per operation.
+// is exactly FIFO single-server semantics with O(1) state and at most one
+// kernel event per distinct completion instant.
 //
 // Completion callbacks are not captured in per-operation closures.
 // Within each class (bulk, priority) completions happen in submission
 // order — the class's busy horizon is monotone and the kernel breaks
 // same-instant ties by scheduling order — so each class keeps a FIFO of
-// pending done callbacks and schedules one pre-bound method per
-// completion. Submitting an operation therefore allocates nothing beyond
-// the kernel's pooled event.
+// pending completion entries and schedules one pre-bound method per
+// distinct completion time. When several submissions of one class land on
+// the same completion instant (weight-zero verbs, coarse service times),
+// they coalesce onto a single wakeup that drains every due entry, instead
+// of one kernel event each. Submitting an operation therefore allocates
+// nothing beyond the kernel's pooled event.
+//
+// Instead of a callback, a submission may carry a 32-bit dispatch tag
+// (SubmitTagged / SubmitPriorityTagged): on completion the station calls
+// the dispatch function installed with SetDispatch. Tags let a fabric
+// encode (queue-pair, stage) pairs as values and resolve them through one
+// bound function per node, rather than holding per-object completion
+// closures for every stage of every queue pair.
 type Station struct {
 	k *Kernel
 	// service is the mean service time per operation.
@@ -37,12 +51,21 @@ type Station struct {
 	// name identifies the station in diagnostics.
 	name string
 
-	// bulkDone and prioDone hold the done callbacks of in-flight
-	// operations, one FIFO per completion class; completeBulk and
-	// completePrio are the corresponding bound completion methods,
-	// created once at construction.
-	bulkDone     callbackFIFO
-	prioDone     callbackFIFO
+	// dispatch resolves tagged completions; see SetDispatch.
+	dispatch func(tag uint32)
+
+	// bulkDone and prioDone hold the pending completion entries, one FIFO
+	// per completion class; completeBulk and completePrio are the
+	// corresponding bound wakeup methods, created once at construction.
+	// Per class, sched counts outstanding kernel wakeups and lastAt is the
+	// latest scheduled wakeup instant: a submission completing exactly at
+	// lastAt rides the already-scheduled wakeup.
+	bulkDone     entryFIFO
+	prioDone     entryFIFO
+	bulkSched    int
+	prioSched    int
+	bulkLastAt   Time
+	prioLastAt   Time
 	completeBulk func()
 	completePrio func()
 }
@@ -83,6 +106,11 @@ func (s *Station) SetRate(opsPerSec float64) error {
 	return nil
 }
 
+// SetDispatch installs the resolver for tagged completions. It must be set
+// before the first SubmitTagged/SubmitPriorityTagged and not changed while
+// tagged operations are in flight.
+func (s *Station) SetDispatch(fn func(tag uint32)) { s.dispatch = fn }
+
 // Served returns the number of operations the station has completed.
 func (s *Station) Served() uint64 { return s.served }
 
@@ -98,7 +126,7 @@ func (s *Station) QueueDelay() Time {
 // Submit enqueues one operation with service-time weight 1 and invokes done
 // when it completes. It returns the completion time.
 func (s *Station) Submit(done func()) Time {
-	return s.SubmitWeighted(1, done)
+	return s.submitBulk(1, done, noTag)
 }
 
 // SubmitPriority processes one small operation ahead of the bulk FIFO
@@ -108,6 +136,29 @@ func (s *Station) Submit(done func()) Time {
 // any earlier priority work, instead of waiting behind every queued bulk
 // transfer — but the processing time it consumes still delays bulk work.
 func (s *Station) SubmitPriority(weight float64, done func()) Time {
+	return s.submitPrio(weight, done, noTag)
+}
+
+// SubmitWeighted enqueues one operation whose service time is weight times
+// the station's per-op service time (e.g. a doorbell-batched verb may be
+// cheaper than a full 4 KB transfer). done may be nil.
+func (s *Station) SubmitWeighted(weight float64, done func()) Time {
+	return s.submitBulk(weight, done, noTag)
+}
+
+// SubmitTagged is SubmitWeighted with a dispatch tag instead of a
+// callback: on completion the station calls the SetDispatch resolver with
+// tag. The tag must not equal the reserved sentinel ^uint32(0).
+func (s *Station) SubmitTagged(weight float64, tag uint32) Time {
+	return s.submitBulk(weight, nil, tag)
+}
+
+// SubmitPriorityTagged is SubmitPriority with a dispatch tag.
+func (s *Station) SubmitPriorityTagged(weight float64, tag uint32) Time {
+	return s.submitPrio(weight, nil, tag)
+}
+
+func (s *Station) svcTime(weight float64) Time {
 	if weight < 0 {
 		weight = 0
 	}
@@ -116,6 +167,28 @@ func (s *Station) SubmitPriority(weight float64, done func()) Time {
 		f := 1 + s.jitter*(2*s.k.Rand().Float64()-1)
 		svc = Time(float64(svc) * f)
 	}
+	return svc
+}
+
+func (s *Station) submitBulk(weight float64, done func(), tag uint32) Time {
+	svc := s.svcTime(weight)
+	start := s.k.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	completion := start + svc
+	s.busyUntil = completion
+	s.bulkDone.push(entry{at: completion, fn: done, tag: tag})
+	if s.bulkSched == 0 || completion != s.bulkLastAt {
+		s.k.At(completion, s.completeBulk)
+		s.bulkSched++
+		s.bulkLastAt = completion
+	}
+	return completion
+}
+
+func (s *Station) submitPrio(weight float64, done func(), tag uint32) Time {
+	svc := s.svcTime(weight)
 	// Charge the capacity: bulk work behind us is pushed back.
 	if s.busyUntil < s.k.Now() {
 		s.busyUntil = s.k.Now()
@@ -129,71 +202,87 @@ func (s *Station) SubmitPriority(weight float64, done func()) Time {
 	}
 	completion := start + svc
 	s.prioBusyUntil = completion
-	s.prioDone.push(done)
-	s.k.At(completion, s.completePrio)
+	s.prioDone.push(entry{at: completion, fn: done, tag: tag})
+	if s.prioSched == 0 || completion != s.prioLastAt {
+		s.k.At(completion, s.completePrio)
+		s.prioSched++
+		s.prioLastAt = completion
+	}
 	return completion
 }
 
-// SubmitWeighted enqueues one operation whose service time is weight times
-// the station's per-op service time (e.g. a doorbell-batched verb may be
-// cheaper than a full 4 KB transfer). done may be nil.
-func (s *Station) SubmitWeighted(weight float64, done func()) Time {
-	if weight < 0 {
-		weight = 0
-	}
-	svc := Time(float64(s.service) * weight)
-	if s.jitter > 0 && svc > 0 {
-		f := 1 + s.jitter*(2*s.k.Rand().Float64()-1)
-		svc = Time(float64(svc) * f)
-	}
-	start := s.k.Now()
-	if s.busyUntil > start {
-		start = s.busyUntil
-	}
-	completion := start + svc
-	s.busyUntil = completion
-	s.bulkDone.push(done)
-	s.k.At(completion, s.completeBulk)
-	return completion
-}
-
+// onBulkComplete is one bulk-class wakeup: it drains every entry due at or
+// before the current instant. The due count is captured before the first
+// callback runs, so entries pushed by a callback at the same instant keep
+// their own (later-scheduled) wakeup and fire in submission order, exactly
+// as the unbatched kernel would.
 func (s *Station) onBulkComplete() {
-	done := s.bulkDone.pop()
-	s.served++
-	if done != nil {
-		done()
+	s.bulkSched--
+	now := s.k.Now()
+	for n := s.bulkDone.dueCount(now); n > 0; n-- {
+		e := s.bulkDone.pop()
+		s.served++
+		if e.tag != noTag {
+			s.dispatch(e.tag)
+		} else if e.fn != nil {
+			e.fn()
+		}
 	}
 }
 
 func (s *Station) onPrioComplete() {
-	done := s.prioDone.pop()
-	s.served++
-	if done != nil {
-		done()
+	s.prioSched--
+	now := s.k.Now()
+	for n := s.prioDone.dueCount(now); n > 0; n-- {
+		e := s.prioDone.pop()
+		s.served++
+		if e.tag != noTag {
+			s.dispatch(e.tag)
+		} else if e.fn != nil {
+			e.fn()
+		}
 	}
 }
 
-// callbackFIFO is a queue of completion callbacks backed by a reusable
-// slice; pop compacts lazily so steady-state traffic stops allocating
-// once the buffer has grown to the high-water mark.
-type callbackFIFO struct {
-	fns  []func()
+// entry is one pending completion: the instant it is due and either a
+// callback or a dispatch tag (tag == noTag means callback form).
+type entry struct {
+	at  Time
+	fn  func()
+	tag uint32
+}
+
+// entryFIFO is a queue of completion entries backed by a reusable slice;
+// pop compacts lazily so steady-state traffic stops allocating once the
+// buffer has grown to the high-water mark.
+type entryFIFO struct {
+	es   []entry
 	head int
 }
 
-func (q *callbackFIFO) push(fn func()) { q.fns = append(q.fns, fn) }
+func (q *entryFIFO) push(e entry) { q.es = append(q.es, e) }
 
-func (q *callbackFIFO) pop() func() {
-	fn := q.fns[q.head]
-	q.fns[q.head] = nil
+// dueCount returns how many consecutive entries from the head are due at
+// or before now.
+func (q *entryFIFO) dueCount(now Time) int {
+	n := 0
+	for i := q.head; i < len(q.es) && q.es[i].at <= now; i++ {
+		n++
+	}
+	return n
+}
+
+func (q *entryFIFO) pop() entry {
+	e := q.es[q.head]
+	q.es[q.head] = entry{}
 	q.head++
-	if q.head >= len(q.fns) {
-		q.fns = q.fns[:0]
+	if q.head >= len(q.es) {
+		q.es = q.es[:0]
 		q.head = 0
-	} else if q.head > 64 && q.head*2 > len(q.fns) {
-		n := copy(q.fns, q.fns[q.head:])
-		q.fns = q.fns[:n]
+	} else if q.head > 64 && q.head*2 > len(q.es) {
+		n := copy(q.es, q.es[q.head:])
+		q.es = q.es[:n]
 		q.head = 0
 	}
-	return fn
+	return e
 }

@@ -178,9 +178,24 @@ type Generator struct {
 
 	Latency metrics.Histogram
 
+	// In-flight requests live in a slot pool: each slot carries the
+	// submission time and a completion callback bound once to the slot
+	// index and reused for every request that later occupies the slot.
+	// Unlike a FIFO of start times this stays correct when completions
+	// cross (multiserver routes one generator's keys to independent
+	// engines), and the pool stops allocating once it reaches the
+	// high-water outstanding count.
+	slots []genSlot
+	free  []int32
+
 	issuedTotal         uint64
 	completedTotal      uint64
 	completedThisPeriod uint64
+}
+
+type genSlot struct {
+	start  sim.Time
+	doneFn func()
 }
 
 // NewGenerator builds a generator. periodLen is the QoS period length T.
@@ -227,14 +242,28 @@ func (g *Generator) TakePeriodCompleted() uint64 {
 
 func (g *Generator) issue() {
 	key := g.keys.Next(g.rng)
-	start := g.k.Now()
+	var s int32
+	if n := len(g.free); n > 0 {
+		s = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		s = int32(len(g.slots))
+		g.slots = append(g.slots, genSlot{})
+		i := s // the bound callback captures the index, not a slot pointer,
+		// so pool growth relocating the slab is harmless.
+		g.slots[s].doneFn = func() { g.complete(i) }
+	}
+	g.slots[s].start = g.k.Now()
 	g.issuedTotal++
-	g.submit(key, func() {
-		g.Latency.Record(g.k.Now() - start)
-		g.completedTotal++
-		g.completedThisPeriod++
-		g.drv.onCompletion()
-	})
+	g.submit(key, g.slots[s].doneFn)
+}
+
+func (g *Generator) complete(slot int32) {
+	g.Latency.Record(g.k.Now() - g.slots[slot].start)
+	g.free = append(g.free, slot)
+	g.completedTotal++
+	g.completedThisPeriod++
+	g.drv.onCompletion()
 }
 
 // Poisson is an open-loop pattern with exponentially distributed

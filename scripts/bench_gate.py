@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Bench regression gate: fresh CI measurements vs committed baselines.
 
-Usage: bench_gate.py <ci_kernel.json> <ci_shard.json>
+Usage: bench_gate.py <ci_kernel.json> <ci_shard.json> [<ci_fleet.json>]
 
-Compares the freshly measured BENCH_kernel/BENCH_shard artifacts against
-the committed BENCH_kernel.json / BENCH_shard.json at the repo root.
+Compares the freshly measured BENCH_kernel/BENCH_shard (and optionally
+BENCH_fleet) artifacts against the committed BENCH_kernel.json /
+BENCH_shard.json / BENCH_fleet.json at the repo root.
 Absolute events/sec is machine-dependent, so the gate checks the
 machine-independent quantities instead:
 
@@ -18,7 +19,13 @@ machine-independent quantities instead:
     metrics sampling and the sanitizer all on — the cost of watching);
   - the sharded bench's deterministic event accounting (event, quantum,
     cross-message and idle-quanta counts), which must match the baseline
-    exactly — any drift is a determinism regression, not noise.
+    exactly — any drift is a determinism regression, not noise;
+  - the fleet bench's events-per-client ratio (aggregate events/sec at
+    10^5 clients relative to 10^3, cache off): both sides run in one
+    process so runner speed cancels, and the ratio falling means
+    per-event cost grows with fleet size — the SoA hot path regressing;
+  - the fleet bench's per-point simulated event counts, which are
+    deterministic and must match the baseline exactly.
 
 A ratio more than 20% below its baseline fails. Refresh the committed
 baselines deliberately (rerun the TestWrite*BenchJSON hooks) when the
@@ -57,6 +64,22 @@ def main():
         if p["idle_quanta_total"] != bp["idle_quanta_total"]:
             sys.exit(f"FAIL: idle quanta drift at workers={p['workers']}: "
                      f"{p['idle_quanta_total']} != {bp['idle_quanta_total']}")
+
+    if len(sys.argv) > 3:
+        base_f = json.load(open("BENCH_fleet.json"))
+        ci_f = json.load(open(sys.argv[3]))
+        gate("fleet events-per-client ratio", ci_f["events_per_client_ratio"],
+             base_f["events_per_client_ratio"])
+        for p, bp in zip(ci_f["points"], base_f["points"]):
+            if (p["clients"], p["qp_cache"]) != (bp["clients"], bp["qp_cache"]):
+                sys.exit(f"FAIL: fleet bench point mismatch: "
+                         f"{p['clients']}/{p['qp_cache']} != "
+                         f"{bp['clients']}/{bp['qp_cache']}")
+            if p["events"] != bp["events"]:
+                sys.exit(f"FAIL: fleet bench determinism drift at "
+                         f"clients={p['clients']} qp_cache={p['qp_cache']}: "
+                         f"{p['events']} events != baseline {bp['events']}")
+
     print("bench gate passed")
 
 
